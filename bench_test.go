@@ -1,0 +1,263 @@
+package nicwarp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The benchmarks below regenerate the paper's tables and figures at a
+// reduced workload scale (absolute modeled times shrink; the comparative
+// shapes are preserved). Each benchmark reports the headline figures of
+// merit through b.ReportMetric so `go test -bench` output doubles as a
+// compact experiment readout. Run cmd/experiments for the full-scale sweep.
+
+// benchScale keeps the per-figure benchmarks to seconds of real time each.
+const benchScale = 0.1
+
+// BenchmarkFigure4RAIDGVT regenerates Figure 4: RAID execution time vs GVT
+// period under the host (WARPED) and NIC GVT implementations.
+func BenchmarkFigure4RAIDGVT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Figure4(FigureOpts{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := rows[0], rows[len(rows)-1]
+		b.ReportMetric(first.HostSec/first.NICSec, "speedup@period=1")
+		b.ReportMetric(last.HostSec/last.NICSec, "speedup@period=max")
+		if i == 0 {
+			b.Log("\n" + GVTTable(rows).String())
+		}
+	}
+}
+
+// BenchmarkFigure5aPoliceGVT regenerates Figure 5(a): POLICE execution time
+// vs GVT period.
+func BenchmarkFigure5aPoliceGVT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Figure5(FigureOpts{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first := rows[0]
+		b.ReportMetric(first.HostSec/first.NICSec, "speedup@period=1")
+		if i == 0 {
+			b.Log("\n" + GVTTable(rows).String())
+		}
+	}
+}
+
+// BenchmarkFigure5bPoliceGVTRounds regenerates Figure 5(b): GVT round
+// counts vs period — WARPED's rounds grow as 1/period while NIC-GVT stays
+// near constant (opportunistic piggyback throttling).
+func BenchmarkFigure5bPoliceGVTRounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Figure5(FigureOpts{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].HostRounds), "warped_rounds@period=1")
+		b.ReportMetric(float64(rows[0].NICRounds), "nicgvt_rounds@period=1")
+		b.ReportMetric(float64(rows[len(rows)-1].HostRounds), "warped_rounds@period=max")
+	}
+}
+
+// BenchmarkFigure6aRAIDCancel regenerates Figure 6(a): RAID improvement
+// from early cancellation vs request count.
+func BenchmarkFigure6aRAIDCancel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Figure6(FigureOpts{Scale: 0.05})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.ImprovementPct
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean_improvement_pct")
+		if i == 0 {
+			b.Log("\n" + CancelTable(rows, "requests").String())
+		}
+	}
+}
+
+// BenchmarkFigure6bRAIDMessages regenerates Figure 6(b): RAID message
+// counts with and without direct cancellation.
+func BenchmarkFigure6bRAIDMessages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Figure6(FigureOpts{Scale: 0.05})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(float64(last.BaseMsgs), "warped_msgs")
+		b.ReportMetric(float64(last.CancelMsgs), "cancel_msgs")
+		b.ReportMetric(100*float64(last.DroppedInPlace)/float64(last.CancelMsgs), "dropped_pct_of_msgs")
+	}
+}
+
+// BenchmarkFigure7aPoliceCancel regenerates Figure 7(a): POLICE improvement
+// from early cancellation vs station count.
+func BenchmarkFigure7aPoliceCancel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Figure7and8(FigureOpts{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var max float64
+		for _, r := range rows {
+			if r.ImprovementPct > max {
+				max = r.ImprovementPct
+			}
+		}
+		b.ReportMetric(max, "max_improvement_pct")
+		if i == 0 {
+			b.Log("\n" + CancelTable(rows, "stations").String())
+		}
+	}
+}
+
+// BenchmarkFigure7bPoliceDropRate regenerates Figure 7(b): the percentage
+// of cancelled messages dropped in place by the NIC.
+func BenchmarkFigure7bPoliceDropRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Figure7and8(FigureOpts{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.NICDropRatePct, "nic_drop_rate_pct")
+	}
+}
+
+// BenchmarkFigure8PoliceMessageCount regenerates Figure 8: overall messages
+// generated (including later-cancelled ones), with and without direct
+// cancellation.
+func BenchmarkFigure8PoliceMessageCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Figure7and8(FigureOpts{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(float64(last.BaseMsgs), "warped_msgs")
+		b.ReportMetric(float64(last.CancelMsgs), "cancel_msgs")
+	}
+}
+
+// BenchmarkAblationNICSpeed sweeps the NIC clock (the paper's future-work
+// axis: "as programmable cards with better processors continue to appear").
+func BenchmarkAblationNICSpeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblationNICSpeed(FigureOpts{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Sec/rows[len(rows)-1].Sec, "slowest_over_fastest")
+		if i == 0 {
+			b.Log("\n" + AblationTable(rows, "dropRatePct", "nicUtil").String())
+		}
+	}
+}
+
+// BenchmarkAblationDropBuffer sweeps the dropped-ID buffer capacity (the
+// paper fixes 10 per object; evictions are correctness hazards).
+func BenchmarkAblationDropBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblationDropBuffer(FigureOpts{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Extra["evictions"], "evictions@cap=2")
+		b.ReportMetric(rows[len(rows)-1].Extra["evictions"], "evictions@cap=1024")
+		if i == 0 {
+			b.Log("\n" + AblationTable(rows, "evictions", "dropped").String())
+		}
+	}
+}
+
+// BenchmarkAblationCancellationPolicy compares aggressive (the paper's
+// policy) with lazy cancellation.
+func BenchmarkAblationCancellationPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblationCancellationPolicy(FigureOpts{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].Sec/rows[0].Sec, "lazy_over_aggressive")
+		if i == 0 {
+			b.Log("\n" + AblationTable(rows, "antis", "rollbacks").String())
+		}
+	}
+}
+
+// BenchmarkAblationPiggybackPatience sweeps the NIC-GVT handshake fallback
+// delay: piggyback thrift vs doorbell cost vs GVT freshness.
+func BenchmarkAblationPiggybackPatience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblationPiggybackPatience(FigureOpts{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + AblationTable(rows, "piggybacks", "doorbells", "rounds").String())
+		}
+		b.ReportMetric(rows[0].Sec, "sec@10us")
+		b.ReportMetric(rows[len(rows)-1].Sec, "sec@2000us")
+	}
+}
+
+// BenchmarkAblationRxBuffer sweeps the NIC receive buffer (backpressure
+// depth), the hardware knob behind the early-cancellation catch rate.
+func BenchmarkAblationRxBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblationRxBuffer(FigureOpts{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Extra["dropRatePct"], "dropRate@rx=6")
+		b.ReportMetric(rows[len(rows)-1].Extra["dropRatePct"], "dropRate@rx=96")
+		if i == 0 {
+			b.Log("\n" + AblationTable(rows, "dropRatePct", "dropped").String())
+		}
+	}
+}
+
+// BenchmarkAblationGVTAlgorithms compares pGVT, host Mattern and NIC-GVT
+// at an aggressive period — the trade-off behind the paper's choice of
+// Mattern as baseline.
+func BenchmarkAblationGVTAlgorithms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblationGVTAlgorithms(FigureOpts{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Sec/rows[1].Sec, "pgvt_over_mattern")
+		b.ReportMetric(rows[1].Sec/rows[2].Sec, "mattern_over_nicgvt")
+		if i == 0 {
+			b.Log("\n" + AblationTable(rows, "ctrlMsgs", "computations").String())
+		}
+	}
+}
+
+// BenchmarkKernelEventProcessing micro-benchmarks the Time Warp kernel's
+// event path (no hardware model): useful when tuning kernel data
+// structures.
+func BenchmarkKernelEventProcessing(b *testing.B) {
+	res := MustRun(Config{
+		App:   PHOLD(PHOLDParams{Objects: 32, Population: 1, Hops: 400, MeanDelay: 50, Locality: 0.2}),
+		Nodes: 4, Seed: 9, GVTPeriod: 100,
+	})
+	events := res.ProcessedEvents
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustRun(Config{
+			App:   PHOLD(PHOLDParams{Objects: 32, Population: 1, Hops: 400, MeanDelay: 50, Locality: 0.2}),
+			Nodes: 4, Seed: 9, GVTPeriod: 100,
+		})
+	}
+	b.ReportMetric(float64(events), "kernel_events")
+}
+
+// sanity check that benchmarks compile against the row types.
+var _ = fmt.Sprintf

@@ -1,0 +1,141 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section, plus the ablation studies listed in DESIGN.md, and
+// writes them as aligned text tables (and CSV) under -out.
+//
+//	experiments -out results -scale 1.0
+//
+// At -scale 1.0 the full suite takes tens of minutes of real time; use
+// -scale 0.25 for a quick pass. Individual experiments can be selected with
+// -only (comma-separated: fig4, fig5, fig6, fig78, ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nicwarp"
+	"nicwarp/internal/stats"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "results", "output directory")
+		scale = flag.Float64("scale", 1.0, "workload scale relative to the paper")
+		seed  = flag.Uint64("seed", 1, "experiment seed")
+		nodes = flag.Int("nodes", 8, "cluster size")
+		only  = flag.String("only", "", "comma-separated subset: fig4, fig5, fig6, fig78, ablations")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	opts := nicwarp.FigureOpts{Nodes: *nodes, Seed: *seed, Scale: *scale}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(s)] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	if want("fig4") {
+		step("Figure 4: RAID execution time vs GVT period (WARPED vs NIC-GVT)")
+		rows, err := nicwarp.Figure4(opts)
+		if err != nil {
+			fatal(err)
+		}
+		write(*out, "figure4_raid_gvt", nicwarp.GVTTable(rows))
+	}
+	if want("fig5") {
+		step("Figure 5: POLICE execution time and GVT rounds vs GVT period")
+		rows, err := nicwarp.Figure5(opts)
+		if err != nil {
+			fatal(err)
+		}
+		write(*out, "figure5_police_gvt", nicwarp.GVTTable(rows))
+	}
+	if want("fig6") {
+		step("Figure 6: RAID early cancellation vs request count")
+		rows, err := nicwarp.Figure6(opts)
+		if err != nil {
+			fatal(err)
+		}
+		write(*out, "figure6_raid_cancel", nicwarp.CancelTable(rows, "requests"))
+	}
+	if want("fig78") {
+		step("Figures 7 and 8: POLICE early cancellation vs station count")
+		rows, err := nicwarp.Figure7and8(opts)
+		if err != nil {
+			fatal(err)
+		}
+		write(*out, "figure7_8_police_cancel", nicwarp.CancelTable(rows, "stations"))
+	}
+	if want("ablations") {
+		step("Ablation: NIC processor speed")
+		if rows, err := nicwarp.AblationNICSpeed(opts); err != nil {
+			fatal(err)
+		} else {
+			write(*out, "ablation_nic_speed", nicwarp.AblationTable(rows, "dropRatePct", "nicUtil"))
+		}
+		step("Ablation: drop-buffer capacity")
+		if rows, err := nicwarp.AblationDropBuffer(opts); err != nil {
+			fatal(err)
+		} else {
+			write(*out, "ablation_drop_buffer", nicwarp.AblationTable(rows, "evictions", "dropped"))
+		}
+		step("Ablation: cancellation policy")
+		if rows, err := nicwarp.AblationCancellationPolicy(opts); err != nil {
+			fatal(err)
+		} else {
+			write(*out, "ablation_cancellation_policy", nicwarp.AblationTable(rows, "antis", "rollbacks"))
+		}
+		step("Ablation: GVT algorithms (pGVT vs Mattern vs NIC-GVT)")
+		if rows, err := nicwarp.AblationGVTAlgorithms(opts); err != nil {
+			fatal(err)
+		} else {
+			write(*out, "ablation_gvt_algorithms", nicwarp.AblationTable(rows, "ctrlMsgs", "computations"))
+		}
+		step("Ablation: NIC receive-buffer depth")
+		if rows, err := nicwarp.AblationRxBuffer(opts); err != nil {
+			fatal(err)
+		} else {
+			write(*out, "ablation_rx_buffer", nicwarp.AblationTable(rows, "dropRatePct", "dropped"))
+		}
+		step("Ablation: NIC-GVT piggyback patience")
+		if rows, err := nicwarp.AblationPiggybackPatience(opts); err != nil {
+			fatal(err)
+		} else {
+			write(*out, "ablation_piggyback_patience", nicwarp.AblationTable(rows, "piggybacks", "doorbells", "rounds"))
+		}
+	}
+	fmt.Println("done")
+}
+
+var started = time.Now()
+
+func step(msg string) {
+	fmt.Printf("[%8.1fs] %s\n", time.Since(started).Seconds(), msg)
+}
+
+func write(dir, name string, t *stats.Table) {
+	txt := filepath.Join(dir, name+".txt")
+	if err := os.WriteFile(txt, []byte(t.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".csv"), []byte(t.CSV()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Print(t.String())
+	fmt.Println("wrote", txt)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

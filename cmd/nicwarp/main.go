@@ -1,0 +1,93 @@
+// Command nicwarp runs a single Time Warp cluster experiment from flags and
+// prints the result summary. It is the exploratory companion to
+// cmd/experiments, which regenerates the paper's figures.
+//
+// Examples:
+//
+//	nicwarp -app raid -requests 50000 -gvt nic -period 10
+//	nicwarp -app police -stations 900 -cancel
+//	nicwarp -app phold -nodes 4 -gvt mattern -period 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nicwarp"
+	"nicwarp/internal/vtime"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "phold", "application: raid, police, phold, pcs")
+		nodes    = flag.Int("nodes", 8, "cluster size (LPs)")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		gvtMode  = flag.String("gvt", "mattern", "GVT implementation: mattern, nic, pgvt")
+		period   = flag.Int("period", 1000, "GVT period (GVT_COUNT)")
+		cancel   = flag.Bool("cancel", false, "enable NIC early cancellation")
+		lazy     = flag.Bool("lazy", false, "use lazy cancellation in the kernel")
+		requests = flag.Int("requests", 50000, "RAID: total disk requests")
+		stations = flag.Int("stations", 900, "POLICE: station count")
+		objects  = flag.Int("objects", 32, "PHOLD: object count")
+		hops     = flag.Int("hops", 500, "PHOLD: per-object send budget")
+		verify   = flag.Bool("verify", false, "verify against the sequential oracle")
+		samples  = flag.Bool("samples", false, "print a run-time series (GVT progression)")
+	)
+	flag.Parse()
+
+	cfg := nicwarp.Config{
+		Nodes:        *nodes,
+		Seed:         *seed,
+		GVTPeriod:    *period,
+		EarlyCancel:  *cancel,
+		VerifyOracle: *verify,
+	}
+	if *samples {
+		cfg.SampleEvery = 10 * vtime.Millisecond
+	}
+	switch *gvtMode {
+	case "mattern":
+		cfg.GVT = nicwarp.GVTHostMattern
+	case "nic":
+		cfg.GVT = nicwarp.GVTNIC
+	case "pgvt":
+		cfg.GVT = nicwarp.GVTPGVT
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -gvt %q (want mattern, nic or pgvt)\n", *gvtMode)
+		os.Exit(2)
+	}
+	if *lazy {
+		cfg.Cancellation = nicwarp.Lazy
+	}
+	switch *app {
+	case "raid":
+		cfg.App = nicwarp.RAID(nicwarp.RAIDCancelConfig(*requests))
+	case "police":
+		cfg.App = nicwarp.Police(nicwarp.PoliceConfig(*stations))
+	case "phold":
+		p := nicwarp.PHOLDParams{Objects: *objects, Population: 1, Hops: *hops, MeanDelay: 50, Locality: 0.2}
+		cfg.App = nicwarp.PHOLD(p)
+	case "pcs":
+		cfg.App = nicwarp.PCS(nicwarp.PCSDefault())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -app %q (want raid, police or phold)\n", *app)
+		os.Exit(2)
+	}
+
+	res, err := nicwarp.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("app=%s nodes=%d gvt=%v period=%d cancel=%v seed=%d\n",
+		*app, *nodes, cfg.GVT, *period, *cancel, *seed)
+	fmt.Print(res)
+	if *samples {
+		fmt.Println("\ntime series:")
+		fmt.Printf("%-14s %-12s %-12s %-12s %-8s\n", "model_time", "gvt", "processed", "rolledback", "hostutil")
+		for _, s := range res.Samples {
+			fmt.Printf("%-14v %-12v %-12d %-12d %-8.2f\n", s.T, s.GVT, s.Processed, s.RolledBack, s.HostUtil)
+		}
+	}
+}

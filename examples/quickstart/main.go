@@ -1,0 +1,45 @@
+// Quickstart: run a small PHOLD workload on a modeled 4-node cluster under
+// both GVT implementations and print what the paper's instrumentation would
+// show.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nicwarp"
+)
+
+func main() {
+	app := func() nicwarp.App {
+		return nicwarp.PHOLD(nicwarp.PHOLDParams{
+			Objects:    32,
+			Population: 1,
+			Hops:       500,
+			MeanDelay:  50,
+			Locality:   0.2,
+		})
+	}
+
+	for _, mode := range []nicwarp.GVTMode{nicwarp.GVTHostMattern, nicwarp.GVTNIC} {
+		res, err := nicwarp.Run(nicwarp.Config{
+			App:          app(),
+			Nodes:        4,
+			Seed:         42,
+			GVT:          mode,
+			GVTPeriod:    100,
+			VerifyOracle: true, // check committed results against a sequential run
+		})
+		if err != nil {
+			log.Fatalf("%v run failed: %v", mode, err)
+		}
+		fmt.Printf("=== GVT implementation: %v ===\n", mode)
+		fmt.Print(res)
+		fmt.Println()
+	}
+	fmt.Println("Both runs verified against the sequential oracle: committed")
+	fmt.Println("events and final state are identical regardless of the GVT")
+	fmt.Println("implementation — the offload changes only where the work runs.")
+}

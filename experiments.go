@@ -1,0 +1,424 @@
+package nicwarp
+
+import (
+	"fmt"
+
+	"nicwarp/internal/stats"
+	"nicwarp/internal/vtime"
+)
+
+// FigureOpts scales the paper's experiments. The zero value reproduces the
+// paper's parameters where the paper states them (8 nodes, 16-source RAID,
+// 900–4000 station POLICE) at workload sizes chosen so the full suite runs
+// in minutes of real time; Scale shrinks or grows the workloads for quick
+// smoke runs or higher-fidelity sweeps.
+type FigureOpts struct {
+	// Nodes is the cluster size; 0 means the paper's 8.
+	Nodes int
+	// Seed drives model randomness; 0 means 1.
+	Seed uint64
+	// Scale multiplies workload sizes (requests, incidents); 0 means 1.
+	Scale float64
+}
+
+func (o FigureOpts) withDefaults() FigureOpts {
+	if o.Nodes == 0 {
+		o.Nodes = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+func (o FigureOpts) scaled(n int) int {
+	v := int(float64(n) * o.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// GVTPeriods is the GVT_COUNT sweep used by Figures 4 and 5 (the paper
+// sweeps 1 to 100000 on a log axis).
+var GVTPeriods = []int{1, 3, 10, 30, 100, 1000, 10000, 100000}
+
+// PoliceStations is the station sweep of Figures 7 and 8.
+var PoliceStations = []int{900, 1000, 2000, 3000, 4000}
+
+// RAIDRequestCounts is the request sweep of Figure 6.
+var RAIDRequestCounts = []int{50000, 100000, 200000, 400000}
+
+// GVTRow is one point of a Figure 4/5 sweep.
+type GVTRow struct {
+	Period      int
+	HostSec     float64 // execution time, host Mattern (WARPED)
+	NICSec      float64 // execution time, NIC-GVT
+	HostRounds  int64
+	NICRounds   int64
+	HostCtrl    int64 // dedicated GVT control messages (host only)
+	NICPiggy    int64 // piggybacked handshakes (NIC only)
+	HostGVTTime float64
+	NICGVTTime  float64
+}
+
+// CancelRow is one point of a Figure 6/7/8 sweep.
+type CancelRow struct {
+	X               int     // requests (RAID) or stations (POLICE)
+	BaseSec         float64 // execution time without early cancellation
+	CancelSec       float64 // execution time with early cancellation
+	ImprovementPct  float64 // Figures 6a/7a
+	BaseMsgs        int64   // messages generated, baseline (Figures 6b/8)
+	CancelMsgs      int64   // messages generated, with cancellation
+	DroppedInPlace  int64
+	NICDropRatePct  float64 // Figure 7b
+	BaseRollbacks   int64
+	CancelRollbacks int64
+}
+
+// gvtSweep runs one application across GVTPeriods under both GVT
+// implementations.
+func gvtSweep(app func() App, opts FigureOpts) ([]GVTRow, error) {
+	opts = opts.withDefaults()
+	var rows []GVTRow
+	for _, period := range GVTPeriods {
+		row := GVTRow{Period: period}
+		for _, mode := range []GVTMode{GVTHostMattern, GVTNIC} {
+			res, err := Run(Config{
+				App:       app(),
+				Nodes:     opts.Nodes,
+				Seed:      opts.Seed,
+				GVT:       mode,
+				GVTPeriod: period,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("period %d %v: %w", period, mode, err)
+			}
+			if mode == GVTHostMattern {
+				row.HostSec = res.ExecTime.Seconds()
+				row.HostRounds = res.GVTRounds
+				row.HostCtrl = res.GVTControlMsgs
+				row.HostGVTTime = res.HostGVTTime.Seconds()
+			} else {
+				row.NICSec = res.ExecTime.Seconds()
+				row.NICRounds = res.GVTRounds
+				row.NICPiggy = res.GVTPiggybacks
+				row.NICGVTTime = res.HostGVTTime.Seconds()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// cancelSweep runs one application family across an x-axis with early
+// cancellation off and on.
+func cancelSweep(app func(x int) App, xs []int, opts FigureOpts) ([]CancelRow, error) {
+	opts = opts.withDefaults()
+	var rows []CancelRow
+	for _, x := range xs {
+		row := CancelRow{X: x}
+		for _, cancel := range []bool{false, true} {
+			res, err := Run(Config{
+				App:         app(x),
+				Nodes:       opts.Nodes,
+				Seed:        opts.Seed,
+				GVT:         GVTHostMattern,
+				GVTPeriod:   1000,
+				EarlyCancel: cancel,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("x=%d cancel=%v: %w", x, cancel, err)
+			}
+			if cancel {
+				row.CancelSec = res.ExecTime.Seconds()
+				row.CancelMsgs = res.EventMsgsBuilt
+				row.DroppedInPlace = res.DroppedInPlace
+				row.NICDropRatePct = res.NICDropRate()
+				row.CancelRollbacks = res.Rollbacks
+			} else {
+				row.BaseSec = res.ExecTime.Seconds()
+				row.BaseMsgs = res.EventMsgsBuilt
+				row.BaseRollbacks = res.Rollbacks
+			}
+		}
+		row.ImprovementPct = 100 * (row.BaseSec - row.CancelSec) / row.BaseSec
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure4 reproduces "RAID Performance with NIC GVT": execution time vs GVT
+// period for the WARPED host implementation and NIC-GVT, on the paper's
+// 10-source/8-fork/8-disk RAID model.
+func Figure4(opts FigureOpts) ([]GVTRow, error) {
+	o := opts.withDefaults()
+	return gvtSweep(func() App { return RAID(RAIDGVTConfig(o.scaled(20000))) }, o)
+}
+
+// Figure5 reproduces "POLICE Performance with NIC GVT" (5a, execution time)
+// and "POLICE — NIC GVT Rounds" (5b, round counts) in one sweep.
+func Figure5(opts FigureOpts) ([]GVTRow, error) {
+	o := opts.withDefaults()
+	return gvtSweep(func() App {
+		p := PoliceConfig(o.scaled(900))
+		return Police(p)
+	}, o)
+}
+
+// Figure6 reproduces "RAID Performance with NIC Direct Cancelation" (6a,
+// percentage improvement) and "RAID Message Count" (6b) over the request
+// sweep, on the 16-source RAID configuration.
+func Figure6(opts FigureOpts) ([]CancelRow, error) {
+	o := opts.withDefaults()
+	xs := make([]int, len(RAIDRequestCounts))
+	for i, r := range RAIDRequestCounts {
+		xs[i] = o.scaled(r)
+	}
+	return cancelSweep(func(x int) App { return RAID(RAIDCancelConfig(x)) }, xs, o)
+}
+
+// Figure7and8 reproduces "POLICE Performance with NIC Direct Cancelation"
+// (7a), "Percentage of Canceled Messages Dropped by NIC" (7b) and "Police
+// Message Count" (Figure 8) over the station sweep.
+func Figure7and8(opts FigureOpts) ([]CancelRow, error) {
+	o := opts.withDefaults()
+	xs := make([]int, len(PoliceStations))
+	for i, s := range PoliceStations {
+		xs[i] = o.scaled(s)
+	}
+	return cancelSweep(func(x int) App { return Police(PoliceConfig(x)) }, xs, o)
+}
+
+// GVTTable renders a Figure 4/5 sweep.
+func GVTTable(rows []GVTRow) *stats.Table {
+	t := stats.NewTable("gvt_period", "warped_sec", "nicgvt_sec", "warped_rounds", "nicgvt_rounds", "warped_ctrl_msgs", "nicgvt_piggybacks")
+	for _, r := range rows {
+		t.AddRow(r.Period, r.HostSec, r.NICSec, r.HostRounds, r.NICRounds, r.HostCtrl, r.NICPiggy)
+	}
+	return t
+}
+
+// CancelTable renders a Figure 6/7/8 sweep.
+func CancelTable(rows []CancelRow, xName string) *stats.Table {
+	t := stats.NewTable(xName, "warped_sec", "cancel_sec", "improvement_pct",
+		"warped_msgs", "cancel_msgs", "dropped_in_place", "nic_drop_rate_pct")
+	for _, r := range rows {
+		t.AddRow(r.X, r.BaseSec, r.CancelSec, r.ImprovementPct,
+			r.BaseMsgs, r.CancelMsgs, r.DroppedInPlace, r.NICDropRatePct)
+	}
+	return t
+}
+
+// AblationRow is a generic (label, exec time) result row.
+type AblationRow struct {
+	Label string
+	Sec   float64
+	Extra map[string]float64
+}
+
+// AblationNICSpeed sweeps the NIC processor clock — the paper's future-work
+// question of how better NIC processors change the trade-off — running
+// NIC-GVT with early cancellation at each speed.
+func AblationNICSpeed(opts FigureOpts) ([]AblationRow, error) {
+	o := opts.withDefaults()
+	var rows []AblationRow
+	for _, mhz := range []float64{33, 66, 132, 264, 528} {
+		cfg := Config{
+			App:         Police(PoliceConfig(o.scaled(900))),
+			Nodes:       o.Nodes,
+			Seed:        o.Seed,
+			GVT:         GVTNIC,
+			GVTPeriod:   100,
+			EarlyCancel: true,
+		}
+		cfg = cfg.WithDefaults()
+		cfg.NIC.ClockHz = mhz * 1e6
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label: fmt.Sprintf("%.0fMHz", mhz),
+			Sec:   res.ExecTime.Seconds(),
+			Extra: map[string]float64{
+				"dropRatePct": res.NICDropRate(),
+				"nicUtil":     res.NICUtil,
+			},
+		})
+	}
+	return rows, nil
+}
+
+// AblationDropBuffer sweeps the per-object dropped-ID buffer capacity (the
+// paper fixes it at 10) and reports the correctness hazards (evictions) and
+// performance at each size.
+func AblationDropBuffer(opts FigureOpts) ([]AblationRow, error) {
+	o := opts.withDefaults()
+	var rows []AblationRow
+	for _, cap := range []int{2, 10, 64, 1024} {
+		res, err := Run(Config{
+			App:           Police(PoliceConfig(o.scaled(900))),
+			Nodes:         o.Nodes,
+			Seed:          o.Seed,
+			GVT:           GVTHostMattern,
+			GVTPeriod:     1000,
+			EarlyCancel:   true,
+			DropBufferCap: cap,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label: fmt.Sprintf("cap=%d", cap),
+			Sec:   res.ExecTime.Seconds(),
+			Extra: map[string]float64{
+				"evictions": float64(res.DropBufEvictions),
+				"dropped":   float64(res.DroppedInPlace),
+			},
+		})
+	}
+	return rows, nil
+}
+
+// AblationCancellationPolicy compares aggressive and lazy kernel
+// cancellation (without NIC early cancellation, which requires aggressive).
+func AblationCancellationPolicy(opts FigureOpts) ([]AblationRow, error) {
+	o := opts.withDefaults()
+	var rows []AblationRow
+	for _, pol := range []CancellationPolicy{Aggressive, Lazy} {
+		res, err := Run(Config{
+			App:          RAID(RAIDCancelConfig(o.scaled(20000))),
+			Nodes:        o.Nodes,
+			Seed:         o.Seed,
+			GVT:          GVTHostMattern,
+			GVTPeriod:    100,
+			Cancellation: pol,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label: pol.String(),
+			Sec:   res.ExecTime.Seconds(),
+			Extra: map[string]float64{
+				"antis":     float64(res.AntisBuilt),
+				"rollbacks": float64(res.Rollbacks),
+			},
+		})
+	}
+	return rows, nil
+}
+
+// AblationPiggybackPatience sweeps the NIC-GVT handshake fallback delay:
+// the trade-off between waiting for event traffic to piggyback on and
+// paying doorbell bus crossings.
+func AblationPiggybackPatience(opts FigureOpts) ([]AblationRow, error) {
+	o := opts.withDefaults()
+	var rows []AblationRow
+	for _, us := range []int{10, 50, 150, 500, 2000} {
+		cfg := Config{
+			App:       RAID(RAIDGVTConfig(o.scaled(20000))),
+			Nodes:     o.Nodes,
+			Seed:      o.Seed,
+			GVT:       GVTNIC,
+			GVTPeriod: 1,
+		}
+		cfg.GVTFallbackDelay = vtime.ModelTime(us) * vtime.Microsecond
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label: fmt.Sprintf("%dus", us),
+			Sec:   res.ExecTime.Seconds(),
+			Extra: map[string]float64{
+				"piggybacks": float64(res.GVTPiggybacks),
+				"doorbells":  float64(res.GVTDoorbells),
+				"rounds":     float64(res.GVTRounds),
+			},
+		})
+	}
+	return rows, nil
+}
+
+// AblationGVTAlgorithms compares the three GVT implementations — pGVT
+// (acknowledgement-heavy centralized baseline), host Mattern (WARPED's
+// default) and NIC-GVT — at an aggressive period, quantifying the paper's
+// "we use Mattern's algorithm because it has a lower overhead" choice and
+// its own improvement on top.
+func AblationGVTAlgorithms(opts FigureOpts) ([]AblationRow, error) {
+	o := opts.withDefaults()
+	var rows []AblationRow
+	for _, mode := range []GVTMode{GVTPGVT, GVTHostMattern, GVTNIC} {
+		res, err := Run(Config{
+			App:       RAID(RAIDGVTConfig(o.scaled(20000))),
+			Nodes:     o.Nodes,
+			Seed:      o.Seed,
+			GVT:       mode,
+			GVTPeriod: 10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label: mode.String(),
+			Sec:   res.ExecTime.Seconds(),
+			Extra: map[string]float64{
+				"ctrlMsgs":     float64(res.GVTControlMsgs),
+				"computations": float64(res.GVTComputations),
+			},
+		})
+	}
+	return rows, nil
+}
+
+// AblationRxBuffer sweeps the NIC receive-buffer capacity, the knob that
+// controls how far receiver congestion backs up into sender NIC queues (and
+// with it, how much backlog early cancellation can reach).
+func AblationRxBuffer(opts FigureOpts) ([]AblationRow, error) {
+	o := opts.withDefaults()
+	var rows []AblationRow
+	for _, cap := range []int{6, 12, 28, 96} {
+		cfg := Config{
+			App:         Police(PoliceConfig(o.scaled(900))),
+			Nodes:       o.Nodes,
+			Seed:        o.Seed,
+			GVT:         GVTHostMattern,
+			GVTPeriod:   1000,
+			EarlyCancel: true,
+		}
+		cfg = cfg.WithDefaults()
+		cfg.NIC.RxQueueCap = cap
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label: fmt.Sprintf("rx=%d", cap),
+			Sec:   res.ExecTime.Seconds(),
+			Extra: map[string]float64{
+				"dropRatePct": res.NICDropRate(),
+				"dropped":     float64(res.DroppedInPlace),
+			},
+		})
+	}
+	return rows, nil
+}
+
+// AblationTable renders ablation rows with their extra columns.
+func AblationTable(rows []AblationRow, extras ...string) *stats.Table {
+	header := append([]string{"variant", "exec_sec"}, extras...)
+	t := stats.NewTable(header...)
+	for _, r := range rows {
+		cells := []interface{}{r.Label, r.Sec}
+		for _, e := range extras {
+			cells = append(cells, r.Extra[e])
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}

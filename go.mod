@@ -1,0 +1,3 @@
+module nicwarp
+
+go 1.22

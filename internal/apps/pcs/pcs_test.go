@@ -1,0 +1,123 @@
+package pcs
+
+import (
+	"testing"
+
+	"nicwarp/internal/timewarp"
+)
+
+func small() Params {
+	p := DefaultParams()
+	p.Width, p.Height = 4, 3
+	p.CallsPerCell = 20
+	return p
+}
+
+func TestParamsValidate(t *testing.T) {
+	if DefaultParams().Validate() != nil {
+		t.Fatal("defaults must validate")
+	}
+	bad := []Params{
+		{Width: 0, Height: 1, Channels: 1, InterArrivalMean: 1, HoldMean: 1},
+		{Width: 1, Height: 1, Channels: 0, InterArrivalMean: 1, HoldMean: 1},
+		{Width: 1, Height: 1, Channels: 1, CallsPerCell: -1, InterArrivalMean: 1, HoldMean: 1},
+		{Width: 1, Height: 1, Channels: 1, InterArrivalMean: 0, HoldMean: 1},
+		{Width: 1, Height: 1, Channels: 1, InterArrivalMean: 1, HoldMean: 1, HandoffProb: 2},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Fatalf("params %d accepted", i)
+		}
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	p := payload(evHandoff, 12345)
+	if payloadKind(p) != evHandoff || payloadDuration(p) != 12345 {
+		t.Fatal("payload encoding")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	p := small() // 4x3 grid
+	app := New(p)
+	objs, _ := app.Build(4, 1)
+	corner := objs[timewarp.ObjectID(0)].(*cell)
+	if len(corner.neighbors()) != 2 {
+		t.Fatalf("corner has %d neighbours, want 2", len(corner.neighbors()))
+	}
+	middle := objs[timewarp.ObjectID(5)].(*cell) // (1,1)
+	if len(middle.neighbors()) != 4 {
+		t.Fatalf("interior cell has %d neighbours, want 4", len(middle.neighbors()))
+	}
+	for _, n := range middle.neighbors() {
+		if n == middle.id {
+			t.Fatal("cell neighbours itself")
+		}
+	}
+}
+
+func TestSequentialInvariants(t *testing.T) {
+	app := New(small())
+	objs, _ := app.Build(4, 7)
+	res := timewarp.Sequential(objs, 2_000_000)
+	if res.TotalEvents == 0 {
+		t.Fatal("no events")
+	}
+	var completed, blocked, attempts, handoffs uint64
+	for _, o := range objs {
+		c := o.(*cell)
+		if c.st.busy != 0 {
+			t.Fatalf("cell %d ends with %d busy channels", c.index, c.st.busy)
+		}
+		if c.st.remaining != 0 {
+			t.Fatalf("cell %d did not finish generating calls", c.index)
+		}
+		completed += c.st.completed
+		blocked += c.st.blocked
+		handoffs += c.st.handoffs
+	}
+	attempts = uint64(small().CallsPerCell * small().Width * small().Height)
+	// Every admitted call segment completes exactly once; every attempt or
+	// handoff either occupied a channel (one completion) or blocked.
+	if completed+blocked != attempts+handoffs {
+		t.Fatalf("completed %d + blocked %d != attempts %d + handoffs %d",
+			completed, blocked, attempts, handoffs)
+	}
+	if handoffs == 0 {
+		t.Fatal("no handoffs; the model would have no cross-LP traffic")
+	}
+}
+
+func TestBlockingUnderOverload(t *testing.T) {
+	p := small()
+	p.Channels = 1
+	p.InterArrivalMean = 5 // calls arrive much faster than they complete
+	objs, _ := New(p).Build(4, 3)
+	timewarp.Sequential(objs, 2_000_000)
+	var blocked uint64
+	for _, o := range objs {
+		blocked += o.(*cell).st.blocked
+	}
+	if blocked == 0 {
+		t.Fatal("single-channel overloaded cells never blocked a call")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() uint64 {
+		objs, _ := New(small()).Build(4, 9)
+		return timewarp.Sequential(objs, 2_000_000).Digest
+	}
+	if run() != run() {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	o1, _ := New(small()).Build(4, 1)
+	o2, _ := New(small()).Build(4, 2)
+	if timewarp.Sequential(o1, 2_000_000).Digest == timewarp.Sequential(o2, 2_000_000).Digest {
+		t.Fatal("different seeds gave identical digests")
+	}
+}

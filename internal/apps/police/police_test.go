@@ -1,0 +1,158 @@
+package police
+
+import (
+	"testing"
+
+	"nicwarp/internal/timewarp"
+)
+
+func small(stations int) Params {
+	p := DefaultConfig(stations)
+	p.IncidentsPerStation = 3
+	p.IncidentMean = 300
+	return p
+}
+
+func TestParamsValidate(t *testing.T) {
+	if DefaultConfig(900).Validate() != nil {
+		t.Fatal("paper config must validate")
+	}
+	bad := []Params{
+		{Stations: 0, Centres: 8, QueryFanout: 1, IncidentMean: 1},
+		{Stations: 10, Centres: 0, QueryFanout: 1, IncidentMean: 1},
+		{Stations: 10, Centres: 8, QueryFanout: 0, IncidentMean: 1},
+		{Stations: 10, Centres: 8, QueryFanout: 1, IncidentMean: 0},
+		{Stations: 10, Centres: 8, QueryFanout: 1, IncidentMean: 1, BusyFraction: 1.5},
+		{Stations: 1 << 25, Centres: 8, QueryFanout: 1, IncidentMean: 1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Fatalf("params %d accepted", i)
+		}
+	}
+}
+
+func TestPayloadEncoding(t *testing.T) {
+	p := payload(msgAssign, 123456, 9999)
+	if payloadKind(p) != msgAssign || payloadIncident(p) != 123456 || payloadStation(p) != 9999 {
+		t.Fatalf("round trip failed: kind=%d inc=%d st=%d",
+			payloadKind(p), payloadIncident(p), payloadStation(p))
+	}
+}
+
+func TestBuildCounts(t *testing.T) {
+	app := New(small(100))
+	objs, place := app.Build(8, 1)
+	if len(objs) != 100+8 {
+		t.Fatalf("objects = %d, want 108", len(objs))
+	}
+	for id := range objs {
+		lp := place(id)
+		if lp < 0 || lp >= 8 {
+			t.Fatalf("object %d on invalid LP %d", id, lp)
+		}
+	}
+}
+
+func TestCentreAssignmentCrossesLPs(t *testing.T) {
+	p := small(64)
+	app := New(p)
+	_, place := app.Build(8, 1)
+	cross := 0
+	for i := 0; i < p.Stations; i++ {
+		stLP := place(p.stationID(i))
+		cLP := place(p.centreID(p.centreOf(i)))
+		if stLP != cLP {
+			cross++
+		}
+	}
+	if cross == 0 {
+		t.Fatal("no station-centre pair crosses LPs; the model would not communicate")
+	}
+}
+
+func TestSequentialDeterminismAndTermination(t *testing.T) {
+	app := New(small(60))
+	run := func() timewarp.SequentialResult {
+		objs, _ := app.Build(8, 11)
+		return timewarp.Sequential(objs, 5_000_000)
+	}
+	a, b := run(), run()
+	if a.Digest != b.Digest || a.TotalEvents != b.TotalEvents {
+		t.Fatal("oracle not deterministic")
+	}
+	// Every incident produces at least report + fanout queries + replies.
+	min := 60 * 3 * (1 + 1)
+	if a.TotalEvents < min {
+		t.Fatalf("events = %d, expected at least %d", a.TotalEvents, min)
+	}
+}
+
+func TestIncidentsAllAccountedFor(t *testing.T) {
+	p := small(40)
+	app := New(p)
+	objs, _ := app.Build(4, 5)
+	timewarp.Sequential(objs, 5_000_000)
+	// After quiescence every incident was resolved or abandoned.
+	var resolved, abandoned, raised uint64
+	for c := 0; c < p.Centres; c++ {
+		obj := objs[p.centreID(c)].(*centre)
+		resolved += obj.st.resolved
+		abandoned += obj.st.abandoned
+		raised += uint64(obj.st.nextIncident)
+		if obj.st.openCount != 0 {
+			t.Fatalf("centre %d still has %d open incidents", c, obj.st.openCount)
+		}
+	}
+	if raised != uint64(p.Stations*p.IncidentsPerStation) {
+		t.Fatalf("raised %d incidents, want %d", raised, p.Stations*p.IncidentsPerStation)
+	}
+	if resolved+abandoned != raised {
+		t.Fatalf("resolved %d + abandoned %d != raised %d", resolved, abandoned, raised)
+	}
+	if resolved == 0 {
+		t.Fatal("nothing resolved; dispatch path broken")
+	}
+}
+
+func TestStationBusyPath(t *testing.T) {
+	// With BusyFraction 1 every query comes back busy and every incident is
+	// abandoned.
+	p := small(30)
+	p.BusyFraction = 1
+	objs, _ := New(p).Build(4, 2)
+	timewarp.Sequential(objs, 5_000_000)
+	var resolved, abandoned uint64
+	for c := 0; c < p.Centres; c++ {
+		obj := objs[p.centreID(c)].(*centre)
+		resolved += obj.st.resolved
+		abandoned += obj.st.abandoned
+	}
+	if resolved != 0 {
+		t.Fatalf("resolved %d incidents with all units busy", resolved)
+	}
+	if abandoned != uint64(p.Stations*p.IncidentsPerStation) {
+		t.Fatalf("abandoned = %d, want all", abandoned)
+	}
+}
+
+func TestSeedChangesResults(t *testing.T) {
+	app := New(small(50))
+	o1, _ := app.Build(8, 1)
+	o2, _ := app.Build(8, 2)
+	r1 := timewarp.Sequential(o1, 5_000_000)
+	r2 := timewarp.Sequential(o2, 5_000_000)
+	if r1.Digest == r2.Digest {
+		t.Fatal("different seeds gave identical digests")
+	}
+}
+
+func TestSingleCentreConfiguration(t *testing.T) {
+	p := small(20)
+	p.Centres = 1
+	objs, _ := New(p).Build(2, 3)
+	res := timewarp.Sequential(objs, 5_000_000)
+	if res.TotalEvents == 0 {
+		t.Fatal("single-centre run did nothing")
+	}
+}

@@ -1,0 +1,98 @@
+package bip
+
+import (
+	"testing"
+
+	"nicwarp/internal/proto"
+)
+
+func pkt(src, dst int32, seq uint64) *proto.Packet {
+	return &proto.Packet{Kind: proto.KindEvent, SrcNode: src, DstNode: dst, Seq: seq}
+}
+
+func TestStampAssignsPerDestinationSequences(t *testing.T) {
+	e := New(0)
+	a := pkt(0, 1, 0)
+	b := pkt(0, 1, 0)
+	c := pkt(0, 2, 0)
+	e.Stamp(a)
+	e.Stamp(b)
+	e.Stamp(c)
+	if a.Seq != 1 || b.Seq != 2 {
+		t.Fatalf("seqs to node 1: %d, %d", a.Seq, b.Seq)
+	}
+	if c.Seq != 1 {
+		t.Fatalf("seq to node 2: %d (independent stream expected)", c.Seq)
+	}
+	if e.Stamped.Value() != 3 {
+		t.Fatalf("stamped = %d", e.Stamped.Value())
+	}
+}
+
+func TestStampWrongNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0).Stamp(pkt(3, 1, 0))
+}
+
+func TestAcceptInOrder(t *testing.T) {
+	e := New(1)
+	for seq := uint64(1); seq <= 5; seq++ {
+		if missing := e.Accept(pkt(0, 1, seq)); missing != 0 {
+			t.Fatalf("seq %d: missing = %d", seq, missing)
+		}
+	}
+	if e.GapsDetected.Value() != 0 {
+		t.Fatal("phantom gap")
+	}
+}
+
+func TestAcceptDetectsGap(t *testing.T) {
+	e := New(1)
+	e.Accept(pkt(0, 1, 1))
+	// Seqs 2,3,4 were dropped by the NIC.
+	missing := e.Accept(pkt(0, 1, 5))
+	if missing != 3 {
+		t.Fatalf("missing = %d, want 3", missing)
+	}
+	if e.GapsDetected.Value() != 1 || e.MissingSeqs.Value() != 3 {
+		t.Fatalf("gaps=%d missing=%d", e.GapsDetected.Value(), e.MissingSeqs.Value())
+	}
+	// Stream continues normally afterwards.
+	if e.Accept(pkt(0, 1, 6)) != 0 {
+		t.Fatal("stream did not resume")
+	}
+}
+
+func TestAcceptPerSourceStreams(t *testing.T) {
+	e := New(2)
+	if e.Accept(pkt(0, 2, 1)) != 0 || e.Accept(pkt(1, 2, 1)) != 0 {
+		t.Fatal("independent source streams")
+	}
+}
+
+func TestAcceptSeqZeroSkipsChecking(t *testing.T) {
+	e := New(1)
+	e.Accept(pkt(0, 1, 1))
+	tok := &proto.Packet{Kind: proto.KindGVTToken, SrcNode: 0, DstNode: 1, Seq: 0}
+	if e.Accept(tok) != 0 {
+		t.Fatal("NIC-originated packet must bypass sequencing")
+	}
+	if e.Accept(pkt(0, 1, 2)) != 0 {
+		t.Fatal("stream disturbed by seq-0 packet")
+	}
+}
+
+func TestAcceptDuplicatePanics(t *testing.T) {
+	e := New(1)
+	e.Accept(pkt(0, 1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Accept(pkt(0, 1, 1))
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"nicwarp/internal/gvt"
+	"nicwarp/internal/vtime"
+)
+
+// Sample is one point of the optional run-time series (Config.SampleEvery):
+// cumulative counters and instantaneous cluster state at model time T.
+type Sample struct {
+	T              vtime.ModelTime
+	GVT            vtime.VTime
+	Processed      int64
+	RolledBack     int64
+	MsgsBuilt      int64
+	DroppedInPlace int64
+	HostUtil       float64
+}
+
+// Result aggregates everything an experiment reports — the quantities behind
+// every figure in the paper's evaluation section.
+type Result struct {
+	// ExecTime is the modeled wall-clock execution time (the "Simulation
+	// Time (sec)" axis of Figures 4–7).
+	ExecTime vtime.ModelTime
+
+	// CommittedEvents is the number of surviving event executions; it must
+	// match the sequential oracle.
+	CommittedEvents int
+	// Digest is the committed-state digest, comparable to the oracle's.
+	Digest uint64
+
+	// ProcessedEvents counts all executions including undone ones;
+	// RolledBackEvents counts the undone ones; Rollbacks counts episodes.
+	ProcessedEvents  int64
+	RolledBackEvents int64
+	Rollbacks        int64
+
+	// Message accounting.
+	EventMsgsBuilt   int64 // host-built event-like packets (Figure 8's "overall messages generated")
+	EventMsgsOnWire  int64 // event-like packets actually transmitted (Figure 6b's "messages sent")
+	AntisBuilt       int64 // anti-messages built by hosts
+	DroppedInPlace   int64 // positives cancelled in the NIC send queue
+	AntisSuppressed  int64 // always zero: host-side suppression is disabled (see node.filterSuppressed)
+	AntisFiltered    int64 // antis dropped at the NIC (drop-buffer hit)
+	DropBufEvictions int64 // drop-buffer overflow events (correctness hazards)
+	OrphanAntis      int64 // anti-messages orphaned by evictions (results may deviate)
+
+	// GVT accounting.
+	GVTComputations int64       // completed computations
+	GVTRounds       int64       // token ring circulations (Figure 5b)
+	GVTControlMsgs  int64       // dedicated host control messages (host Mattern)
+	GVTTokensOnNIC  int64       // tokens handled entirely on NICs (NIC-GVT)
+	GVTPiggybacks   int64       // handshakes piggybacked on event traffic
+	GVTDoorbells    int64       // handshake fallbacks
+	FinalGVT        vtime.VTime // highest committed GVT
+
+	// Resource utilization (averaged over nodes).
+	HostUtil float64
+	BusUtil  float64
+	NICUtil  float64
+
+	// Host CPU time by category, summed over nodes.
+	HostEventTime    vtime.ModelTime
+	HostCommTime     vtime.ModelTime
+	HostGVTTime      vtime.ModelTime
+	HostRollbackTime vtime.ModelTime
+
+	// Flow control.
+	FlowBlocked  int64 // packets that waited for credit
+	CreditMsgs   int64
+	BIPGaps      int64 // receive-side sequence gaps (should equal drop count)
+	BIPMissing   int64 // missing sequence numbers observed
+	CreditRepair int64 // credits refunded for packets dropped in place
+
+	// Samples is the run-time series when Config.SampleEvery was set.
+	Samples []Sample
+}
+
+// CancelledTotal returns the number of positive messages that were cancelled
+// by any means: anti-message on the wire, or dropped in place. Figure 7b's
+// "percentage of cancelled messages dropped by NIC" is DroppedInPlace over
+// this.
+func (r *Result) CancelledTotal() int64 {
+	return r.AntisBuilt + r.AntisSuppressed
+}
+
+// NICDropRate returns DroppedInPlace / CancelledTotal in percent, Figure
+// 7b's metric. Zero when nothing was cancelled.
+func (r *Result) NICDropRate() float64 {
+	total := r.CancelledTotal()
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.DroppedInPlace) / float64(total)
+}
+
+// String renders a multi-line summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exec time        %v\n", r.ExecTime)
+	fmt.Fprintf(&b, "committed events %d (processed %d, rolled back %d in %d rollbacks)\n",
+		r.CommittedEvents, r.ProcessedEvents, r.RolledBackEvents, r.Rollbacks)
+	fmt.Fprintf(&b, "event msgs       built %d, on wire %d, dropped in place %d\n",
+		r.EventMsgsBuilt, r.EventMsgsOnWire, r.DroppedInPlace)
+	fmt.Fprintf(&b, "antis            built %d, suppressed %d, filtered %d\n",
+		r.AntisBuilt, r.AntisSuppressed, r.AntisFiltered)
+	fmt.Fprintf(&b, "gvt              %d computations, %d rounds, %d control msgs, final %v\n",
+		r.GVTComputations, r.GVTRounds, r.GVTControlMsgs, r.FinalGVT)
+	fmt.Fprintf(&b, "utilization      host %.2f, bus %.2f, nic %.2f\n",
+		r.HostUtil, r.BusUtil, r.NICUtil)
+	return b.String()
+}
+
+// collect gathers the result from a quiesced cluster.
+func (cl *Cluster) collect() *Result {
+	r := &Result{
+		ExecTime: cl.eng.Now(),
+		Digest:   cl.Digest(),
+		FinalGVT: cl.finalGVT,
+		Samples:  cl.samples,
+	}
+	for i, n := range cl.nodes {
+		ks := &n.kernel.Stats
+		r.CommittedEvents += n.kernel.CommittedEvents()
+		r.ProcessedEvents += ks.Processed.Value()
+		r.RolledBackEvents += ks.RolledBack.Value()
+		r.Rollbacks += ks.Rollbacks.Value()
+
+		r.EventMsgsBuilt += n.eventsBuilt.Value()
+		r.AntisSuppressed += n.antisSuppressed.Value()
+
+		ns := &n.nicDev.Stats
+		r.DroppedInPlace += ns.DroppedInPlace.Value()
+		r.AntisFiltered += ns.AntisFiltered.Value()
+		r.DropBufEvictions += n.nicDev.Shared().Dropped.Evictions.Value()
+		r.OrphanAntis += ks.OrphanAntis.Value()
+
+		switch mgr := n.mgr.(type) {
+		case *gvt.MatternManager:
+			r.GVTComputations += mgr.Stats.Computations.Value()
+			r.GVTRounds += mgr.Stats.Rounds.Value()
+			r.GVTControlMsgs += mgr.Stats.ControlMsgs.Value()
+		case *gvt.NICGVTManager:
+			r.GVTComputations += mgr.Stats.Computations.Value()
+			r.GVTPiggybacks += mgr.Stats.Piggybacks.Value()
+			r.GVTDoorbells += mgr.Stats.Doorbells.Value()
+		case *gvt.PGVTManager:
+			r.GVTComputations += mgr.Stats.Computations.Value()
+			r.GVTRounds += mgr.Stats.Rounds.Value()
+			r.GVTControlMsgs += mgr.Stats.ControlMsgs.Value() + mgr.Acks
+		}
+		if fw := cl.gvtFW[i]; fw != nil {
+			r.GVTRounds += fw.RoundsAtRoot.Value()
+			r.GVTTokensOnNIC += fw.TokensForwarded.Value() + fw.TokensStarted.Value()
+		}
+
+		r.HostUtil += n.cpu.Utilization()
+		r.BusUtil += n.bus.Utilization()
+		r.NICUtil += n.nicDev.ProcUtilization()
+		r.HostEventTime += n.cpu.EventWork.Total()
+		r.HostCommTime += n.cpu.CommWork.Total()
+		r.HostGVTTime += n.cpu.GVTWork.Total()
+		r.HostRollbackTime += n.cpu.RollbackWork.Total()
+
+		r.FlowBlocked += n.flow.Blocked.Value()
+		r.CreditMsgs += n.flow.CreditMsgs.Value()
+		r.CreditRepair += n.flow.Refunded.Value()
+		r.BIPGaps += n.bipEnd.GapsDetected.Value()
+		r.BIPMissing += n.bipEnd.MissingSeqs.Value()
+	}
+	nNodes := float64(len(cl.nodes))
+	r.HostUtil /= nNodes
+	r.BusUtil /= nNodes
+	r.NICUtil /= nNodes
+
+	// Antis built = event messages built that are negative. eventsBuilt
+	// counts both signs; split using kernel counters (remote antis only
+	// were built as packets, so derive from the wire-side accounting).
+	var antisBuilt int64
+	for _, n := range cl.nodes {
+		antisBuilt += antisBuiltOn(n)
+	}
+	r.AntisBuilt = antisBuilt
+	r.EventMsgsOnWire = r.EventMsgsBuilt - r.DroppedInPlace - r.AntisFiltered
+	return r
+}
+
+// antisBuiltOn counts the anti-message packets node n actually built.
+func antisBuiltOn(n *node) int64 {
+	return n.antisBuilt.Value()
+}

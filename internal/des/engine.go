@@ -1,0 +1,167 @@
+// Package des is the hardware-level discrete-event engine: the substitute
+// for the paper's physical cluster. Every modeled component — host CPUs,
+// PCI buses, NIC processors, links, the switch — advances by scheduling
+// callbacks on a single deterministic Engine.
+//
+// The engine is intentionally sequential. The paper's claims are about
+// *where* work happens (host vs NIC) and *how much* hardware time it costs,
+// not about exploiting host parallelism in the reproduction; a sequential
+// deterministic engine makes every experiment exactly reproducible and lets
+// the test suite assert bit-identical metrics across runs.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+
+	"nicwarp/internal/vtime"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  vtime.ModelTime
+	seq uint64 // FIFO tie-break among equal times
+	fn  func()
+	idx int // heap index, -1 when popped/cancelled
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled callback that can be cancelled before it
+// fires.
+type Timer struct {
+	ev     *event
+	eng    *Engine
+	cancel bool
+}
+
+// Cancel prevents the timer's callback from running. Cancelling an already
+// fired or cancelled timer is a no-op. Reports whether the cancellation took
+// effect.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.cancel || t.ev.idx < 0 {
+		return false
+	}
+	t.cancel = true
+	heap.Remove(&t.eng.heap, t.ev.idx)
+	return true
+}
+
+// Stopped reports whether the timer was cancelled.
+func (t *Timer) Stopped() bool { return t != nil && t.cancel }
+
+// Engine is the deterministic event-driven core. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now       vtime.ModelTime
+	heap      eventHeap
+	seq       uint64
+	running   bool
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current model time.
+func (e *Engine) Now() vtime.ModelTime { return e.now }
+
+// Processed returns the number of callbacks executed so far, for diagnostics
+// and runaway-detection in tests.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of scheduled, uncancelled callbacks.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule runs fn after delay d (which may be zero but not negative) and
+// returns a cancelable handle. Callbacks at the same instant run in
+// scheduling order.
+func (e *Engine) Schedule(d vtime.ModelTime, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("des: Schedule with negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// At runs fn at absolute model time t, which must not be in the past.
+func (e *Engine) At(t vtime.ModelTime, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("des: At(%v) is before now (%v)", t, e.now))
+	}
+	if fn == nil {
+		panic("des: nil callback")
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.heap, ev)
+	return &Timer{ev: ev, eng: e}
+}
+
+// Run executes callbacks in time order until the event list is empty or the
+// clock would pass limit. It returns the final clock value. Events exactly
+// at limit still run. Run may be called repeatedly with growing limits.
+func (e *Engine) Run(limit vtime.ModelTime) vtime.ModelTime {
+	if e.running {
+		panic("des: reentrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.heap) > 0 {
+		next := e.heap[0]
+		if next.at > limit {
+			break
+		}
+		heap.Pop(&e.heap)
+		e.now = next.at
+		e.processed++
+		fn := next.fn
+		next.fn = nil
+		// Mark any timer pointing here as fired via the idx sentinel;
+		// Timer.Cancel checks idx < 0.
+		fn()
+	}
+	return e.now
+}
+
+// Step executes exactly one callback if any is pending and reports whether
+// one ran. Used by tests that need fine-grained control.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.heap).(*event)
+	e.now = next.at
+	e.processed++
+	next.fn()
+	return true
+}

@@ -1,0 +1,149 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nicwarp/internal/vtime"
+)
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu")
+	var done []vtime.ModelTime
+	r.Submit(10, func() { done = append(done, e.Now()) })
+	r.Submit(10, func() { done = append(done, e.Now()) })
+	r.Submit(5, func() { done = append(done, e.Now()) })
+	e.Run(vtime.ModelInfinity)
+	want := []vtime.ModelTime{10, 20, 25}
+	if len(done) != 3 {
+		t.Fatalf("completions = %v", done)
+	}
+	for i, w := range want {
+		if done[i] != w {
+			t.Fatalf("completion %d at %v, want %v", i, done[i], w)
+		}
+	}
+}
+
+func TestResourceQueueingAfterIdle(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus")
+	var second vtime.ModelTime
+	r.Submit(10, nil)
+	// Submit more work at t=50, after the resource went idle at t=10.
+	e.Schedule(50, func() {
+		r.Submit(10, func() { second = e.Now() })
+	})
+	e.Run(vtime.ModelInfinity)
+	if second != 60 {
+		t.Fatalf("second completion at %v, want 60 (no retroactive queueing)", second)
+	}
+}
+
+func TestResourceZeroCost(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "wire")
+	ran := false
+	r.Submit(0, func() { ran = true })
+	e.Run(vtime.ModelInfinity)
+	if !ran || e.Now() != 0 {
+		t.Fatalf("zero-cost job: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestResourceNegativeCostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := NewEngine()
+	NewResource(e, "x").Submit(-1, nil)
+}
+
+func TestResourceMetrics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu")
+	r.Submit(30, nil)
+	r.Submit(30, nil)
+	e.Run(vtime.ModelInfinity)
+	if r.Jobs.Value() != 2 {
+		t.Fatalf("jobs = %d", r.Jobs.Value())
+	}
+	if r.Busy.Total() != 60 {
+		t.Fatalf("busy = %v", r.Busy.Total())
+	}
+	if got := r.Utilization(); got != 1.0 {
+		t.Fatalf("utilization = %v, want 1.0", got)
+	}
+	if !r.Idle() {
+		t.Fatal("resource should be idle after drain")
+	}
+	// Second job waited 30ns, first waited 0.
+	if got := r.WaitAvg.Value(); got != 15 {
+		t.Fatalf("mean wait = %v, want 15", got)
+	}
+}
+
+func TestResourceQueueGauge(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu")
+	for i := 0; i < 5; i++ {
+		r.Submit(10, nil)
+	}
+	if r.Queue.Max() != 5 {
+		t.Fatalf("queue high-water = %d, want 5", r.Queue.Max())
+	}
+	if r.InFlight() != 5 {
+		t.Fatalf("in flight = %d", r.InFlight())
+	}
+	e.Run(vtime.ModelInfinity)
+	if r.Queue.Value() != 0 {
+		t.Fatalf("queue after drain = %d", r.Queue.Value())
+	}
+}
+
+// TestResourceConservation: total busy time equals the sum of submitted
+// costs, and the final completion time is at least that sum (single server).
+func TestResourceConservation(t *testing.T) {
+	f := func(costs []uint8) bool {
+		e := NewEngine()
+		r := NewResource(e, "cpu")
+		var sum vtime.ModelTime
+		var last vtime.ModelTime
+		for _, c := range costs {
+			d := vtime.ModelTime(c)
+			sum += d
+			last = r.Submit(d, nil)
+		}
+		e.Run(vtime.ModelInfinity)
+		return r.Busy.Total() == sum && last == sum && r.Jobs.Value() == int64(len(costs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceCompletionOrderFIFO(t *testing.T) {
+	// Even when a cheap job is submitted behind an expensive one it must
+	// complete after it: the server is strictly FIFO.
+	e := NewEngine()
+	r := NewResource(e, "nic")
+	var order []string
+	r.Submit(100, func() { order = append(order, "big") })
+	r.Submit(1, func() { order = append(order, "small") })
+	e.Run(vtime.ModelInfinity)
+	if order[0] != "big" || order[1] != "small" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestNewResourceNilEnginePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewResource(nil, "x")
+}

@@ -1,0 +1,167 @@
+package gvt
+
+import (
+	"fmt"
+
+	"nicwarp/internal/proto"
+	"nicwarp/internal/vtime"
+)
+
+// WaveLedger is colour accounting that supports several concurrent GVT
+// computations ("waves"), which is how WARPED behaves at aggressive
+// GVT_COUNT settings: the root launches a new computation every GVT_COUNT
+// events without waiting for the previous wave to complete, so at COUNT=1
+// the ring carries a token backlog proportional to the event rate — the
+// traffic that "overwhelms the host processor resources" in the paper's
+// Figures 4 and 5. (The NIC implementation is inherently single-wave: the
+// NIC holds one token until the host handshake completes, which is why its
+// round count stays flat in Figure 5b.)
+//
+// Waves are identified by their epoch number, assigned in initiation order
+// by the root. The ring is FIFO, so every LP joins waves in ascending
+// order, but an older wave's later rounds may revisit an LP after it has
+// joined younger waves — hence per-wave bookkeeping:
+//
+//   - joinSent[c]: cumulative sends when the LP joined wave c. All of them
+//     carry stamps below c, so they are white for wave c.
+//   - reported[c]: white receives already folded into wave c's token.
+//   - minRed[c]: minimum send timestamp among sends made since joining
+//     wave c (red with respect to c).
+//
+// Receive counts are kept per stamp; stamps below the oldest wave still
+// active are folded into a single bucket when waves retire.
+type WaveLedger struct {
+	epoch     uint32 // highest wave joined; the outgoing stamp
+	sentTotal int64
+
+	recvOld     int64 // receives with stamp below every active wave
+	recvByStamp map[uint32]int64
+	oldestLive  uint32 // stamps below this are foldable
+
+	joinSent map[uint32]int64
+	reported map[uint32]int64
+	minRed   map[uint32]vtime.VTime
+}
+
+// NewWaveLedger returns an empty ledger at epoch zero.
+func NewWaveLedger() *WaveLedger {
+	return &WaveLedger{
+		recvByStamp: make(map[uint32]int64),
+		joinSent:    make(map[uint32]int64),
+		reported:    make(map[uint32]int64),
+		minRed:      make(map[uint32]vtime.VTime),
+	}
+}
+
+// Epoch returns the outgoing colour stamp (highest wave joined).
+func (l *WaveLedger) Epoch() uint32 { return l.epoch }
+
+// OnSend accounts one outgoing event-like packet: stamp it and fold its
+// send timestamp into every active wave's red minimum.
+func (l *WaveLedger) OnSend(pkt *proto.Packet) {
+	pkt.ColorEpoch = l.epoch
+	l.sentTotal++
+	for c, m := range l.minRed {
+		if pkt.SendTS < m {
+			l.minRed[c] = pkt.SendTS
+		}
+	}
+}
+
+// OnRecv accounts one inbound event-like packet by stamp.
+func (l *WaveLedger) OnRecv(pkt *proto.Packet) {
+	l.account(pkt.ColorEpoch, 1)
+}
+
+// OnDropped accounts a NIC-cancelled packet as received (see
+// Ledger.OnDropped).
+func (l *WaveLedger) OnDropped(stamp uint32, n int64) {
+	l.account(stamp, n)
+}
+
+func (l *WaveLedger) account(stamp uint32, n int64) {
+	if stamp < l.oldestLive {
+		l.recvOld += n
+	} else {
+		l.recvByStamp[stamp] += n
+	}
+}
+
+// Join enters wave c. Waves are numbered from 1 and must be joined in
+// ascending order (the FIFO ring guarantees it); joining an already-joined
+// wave is a no-op.
+func (l *WaveLedger) Join(c uint32) {
+	if l.Joined(c) {
+		return
+	}
+	if c < l.epoch {
+		panic(fmt.Sprintf("gvt: wave %d joined after wave %d (FIFO ring violated)", c, l.epoch))
+	}
+	l.epoch = c
+	l.joinSent[c] = l.sentTotal
+	l.reported[c] = 0
+	l.minRed[c] = vtime.Infinity
+}
+
+// Joined reports whether wave c has been joined.
+func (l *WaveLedger) Joined(c uint32) bool {
+	_, ok := l.joinSent[c]
+	return ok
+}
+
+// whiteRecv returns cumulative receives with stamp below c.
+func (l *WaveLedger) whiteRecv(c uint32) int64 {
+	n := l.recvOld
+	for s, cnt := range l.recvByStamp {
+		if s < c {
+			n += cnt
+		}
+	}
+	return n
+}
+
+// Visit folds this LP's contribution into wave c's token: returns the count
+// delta (white sends on first visit, minus unreported white receives) and
+// the timestamp floor (min of lvt and the wave's red send minimum).
+// firstVisit must be true exactly when the LP joined the wave on this token
+// arrival.
+func (l *WaveLedger) Visit(c uint32, firstVisit bool, lvt vtime.VTime) (countDelta int64, floor vtime.VTime) {
+	if !l.Joined(c) {
+		panic(fmt.Sprintf("gvt: Visit of unjoined wave %d", c))
+	}
+	if firstVisit {
+		countDelta += l.joinSent[c]
+	}
+	cur := l.whiteRecv(c)
+	countDelta -= cur - l.reported[c]
+	l.reported[c] = cur
+	floor = vtime.MinV(lvt, l.minRed[c])
+	return countDelta, floor
+}
+
+// Retire discards wave c's bookkeeping after its computation completes, and
+// folds receive stamps no active wave can reference.
+func (l *WaveLedger) Retire(c uint32) {
+	delete(l.joinSent, c)
+	delete(l.reported, c)
+	delete(l.minRed, c)
+	// Advance the fold horizon to the oldest wave still active.
+	oldest := l.epoch + 1
+	for w := range l.joinSent {
+		if w < oldest {
+			oldest = w
+		}
+	}
+	if oldest > l.oldestLive {
+		l.oldestLive = oldest
+		for s, cnt := range l.recvByStamp {
+			if s < l.oldestLive {
+				l.recvOld += cnt
+				delete(l.recvByStamp, s)
+			}
+		}
+	}
+}
+
+// ActiveWaves returns the number of waves with live bookkeeping.
+func (l *WaveLedger) ActiveWaves() int { return len(l.joinSent) }

@@ -1,0 +1,256 @@
+// Package mpich models the credit-based flow control of the paper's MPICH
+// layer. Event traffic consumes sender-side credits per destination;
+// receivers return credit piggybacked on reverse traffic or, when enough is
+// owed and no reverse traffic exists, in an explicit credit message.
+//
+// The layer exists in the reproduction because early cancellation breaks
+// naïve credit flow: "dropped packets cause credit to be lost and the
+// sender's window to close up". The repair is the paper's: the NIC
+// accumulates the credit of packets it drops and piggybacks it as
+// CreditRepair on the next packet to the same destination; the receiver
+// books repaired credit as consumed-and-returnable, so the global credit
+// supply is conserved (an invariant the tests check).
+package mpich
+
+import (
+	"fmt"
+
+	"nicwarp/internal/proto"
+	"nicwarp/internal/stats"
+)
+
+// Config holds flow-control parameters.
+type Config struct {
+	// Window is the per-destination credit window (packets in flight).
+	Window int
+	// ReturnThreshold is how much owed credit accumulates before the
+	// receiver sends an explicit credit message rather than waiting for
+	// reverse traffic to piggyback on.
+	ReturnThreshold int
+	// SendBufferPackets is the send-buffer capacity (the paper's "MPICH
+	// buffers (64K)" in Figure 3a, in packets). When the buffered backlog
+	// reaches it, Congested reports true and the host's event loop stalls
+	// — MPI's blocking-send semantics. This is the throttle that keeps
+	// unbounded optimism from running arbitrarily far ahead of its
+	// unsendable messages.
+	SendBufferPackets int
+}
+
+// DefaultConfig returns a window sized like MPICH's small-message credits
+// over BIP. The paper notes "the sending window is increased allowing the
+// sender to send for longer periods" as part of the drop repair; 64 is that
+// enlarged window.
+func DefaultConfig() Config {
+	return Config{Window: 64, ReturnThreshold: 16, SendBufferPackets: 340}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Window < 1 {
+		return fmt.Errorf("mpich: window must be >= 1, got %d", c.Window)
+	}
+	if c.ReturnThreshold < 1 || c.ReturnThreshold > c.Window {
+		return fmt.Errorf("mpich: return threshold must be in [1, window], got %d", c.ReturnThreshold)
+	}
+	if c.SendBufferPackets < 1 {
+		return fmt.Errorf("mpich: send buffer must hold at least one packet, got %d", c.SendBufferPackets)
+	}
+	return nil
+}
+
+// Endpoint is one node's flow-control state. Outbound packets that clear
+// flow control are handed to transmit; packets without credit wait in a
+// per-destination buffer (MPICH's 64 KB send buffering in the paper's
+// Figure 3a) until credit returns.
+type Endpoint struct {
+	cfg      Config
+	node     int
+	transmit func(*proto.Packet)
+
+	credits map[int32]int // per destination, remaining send credits
+	owed    map[int32]int // per source, credit to return
+	waiting map[int32][]*proto.Packet
+
+	// Stats.
+	Sent         stats.Counter // packets passed to transmit
+	Blocked      stats.Counter // packets that had to wait for credit
+	WaitingPeak  stats.Gauge   // high-water of buffered packets
+	CreditMsgs   stats.Counter // explicit credit messages sent
+	Returned     stats.Counter // credits returned (piggybacked + explicit)
+	Repaired     stats.Counter // credits recovered via receiver-side CreditRepair
+	Refunded     stats.Counter // credits refunded at the sender (NIC drop refund)
+	waitingTotal int
+}
+
+// New creates an endpoint; transmit receives packets cleared to send.
+func New(node int, cfg Config, transmit func(*proto.Packet)) *Endpoint {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if transmit == nil {
+		panic("mpich: nil transmit")
+	}
+	return &Endpoint{
+		cfg:      cfg,
+		node:     node,
+		transmit: transmit,
+		credits:  make(map[int32]int),
+		owed:     make(map[int32]int),
+		waiting:  make(map[int32][]*proto.Packet),
+	}
+}
+
+// flowControlled reports whether a packet kind consumes credits. Event
+// traffic does; GVT control and credit messages ride the eager channel.
+func flowControlled(k proto.Kind) bool {
+	return k == proto.KindEvent || k == proto.KindAnti
+}
+
+// creditsFor returns the remaining credit toward dst, initializing to the
+// window on first use.
+func (e *Endpoint) creditsFor(dst int32) int {
+	if _, ok := e.credits[dst]; !ok {
+		e.credits[dst] = e.cfg.Window
+	}
+	return e.credits[dst]
+}
+
+// Send submits an outbound packet. Control traffic passes through; event
+// traffic consumes a credit or waits for one.
+func (e *Endpoint) Send(pkt *proto.Packet) {
+	if !flowControlled(pkt.Kind) {
+		e.dispatch(pkt)
+		return
+	}
+	if e.creditsFor(pkt.DstNode) <= 0 {
+		e.waiting[pkt.DstNode] = append(e.waiting[pkt.DstNode], pkt)
+		e.waitingTotal++
+		e.Blocked.Inc()
+		e.WaitingPeak.Set(int64(e.waitingTotal))
+		return
+	}
+	e.credits[pkt.DstNode]--
+	e.dispatch(pkt)
+}
+
+// dispatch piggybacks owed credit for the destination and transmits. The
+// flow-control header fields are always rewritten: a forwarded packet (a
+// cloned GVT token, say) would otherwise re-deliver the stale credit
+// piggyback of its previous hop and mint credit out of thin air.
+func (e *Endpoint) dispatch(pkt *proto.Packet) {
+	// Explicit credit messages carry their grant in Credits; everything
+	// else gets the field rewritten here.
+	if pkt.Kind != proto.KindCredit {
+		pkt.Credits = 0
+	}
+	pkt.CreditRepair = 0
+	if owed := e.owed[pkt.DstNode]; owed > 0 {
+		pkt.Credits += int32(owed)
+		e.Returned.Add(int64(owed))
+		delete(e.owed, pkt.DstNode)
+	}
+	e.Sent.Inc()
+	e.transmit(pkt)
+}
+
+// OnReceive books an inbound packet's flow-control effects and returns an
+// explicit credit packet to send back, or nil. The caller transmits it
+// through the normal stack.
+func (e *Endpoint) OnReceive(pkt *proto.Packet) (creditReply *proto.Packet) {
+	src := pkt.SrcNode
+	// Credit returned to us by the peer.
+	if pkt.Credits > 0 {
+		e.creditsFor(src)
+		e.credits[src] += int(pkt.Credits)
+		e.drain(src)
+	}
+	// Credit stranded by NIC drops, recovered by the sender's firmware: the
+	// dropped packets count as consumed here and their credit flows back
+	// like any other.
+	if pkt.CreditRepair > 0 {
+		e.owed[src] += int(pkt.CreditRepair)
+		e.Repaired.Add(int64(pkt.CreditRepair))
+	}
+	if flowControlled(pkt.Kind) && pkt.Seq != 0 {
+		e.owed[src]++
+	}
+	if e.owed[src] >= e.cfg.ReturnThreshold {
+		owed := e.owed[src]
+		delete(e.owed, src)
+		e.Returned.Add(int64(owed))
+		e.CreditMsgs.Inc()
+		return &proto.Packet{
+			Kind:    proto.KindCredit,
+			SrcNode: int32(e.node),
+			DstNode: src,
+			Credits: int32(owed),
+		}
+	}
+	return nil
+}
+
+// drain releases buffered packets toward dst while credit lasts.
+func (e *Endpoint) drain(dst int32) {
+	q := e.waiting[dst]
+	for len(q) > 0 && e.credits[dst] > 0 {
+		pkt := q[0]
+		q = q[1:]
+		e.waitingTotal--
+		e.credits[dst]--
+		e.dispatch(pkt)
+	}
+	if len(q) == 0 {
+		delete(e.waiting, dst)
+	} else {
+		e.waiting[dst] = q
+	}
+}
+
+// BookOwed re-books n credits as owed to peer (credit returns salvaged
+// from a dropped packet). Returns an explicit credit packet when the owed
+// total crosses the return threshold, exactly as OnReceive does.
+func (e *Endpoint) BookOwed(peer int32, n int) (creditReply *proto.Packet) {
+	if n <= 0 {
+		return nil
+	}
+	e.owed[peer] += n
+	if e.owed[peer] >= e.cfg.ReturnThreshold {
+		owed := e.owed[peer]
+		delete(e.owed, peer)
+		e.Returned.Add(int64(owed))
+		e.CreditMsgs.Inc()
+		return &proto.Packet{
+			Kind:    proto.KindCredit,
+			SrcNode: int32(e.node),
+			DstNode: peer,
+			Credits: int32(owed),
+		}
+	}
+	return nil
+}
+
+// Refund returns n stranded credits for dst directly to this sender (the
+// NIC dropped n of our packets in place; they consumed no receiver buffer).
+func (e *Endpoint) Refund(dst int32, n int) {
+	if n <= 0 {
+		return
+	}
+	e.creditsFor(dst)
+	e.credits[dst] += n
+	e.Refunded.Add(int64(n))
+	e.drain(dst)
+}
+
+// WaitingCount returns the number of packets buffered for credit.
+func (e *Endpoint) WaitingCount() int { return e.waitingTotal }
+
+// Congested reports whether the send buffer is full: the next send would
+// block, so the caller should stall event processing until the backlog
+// drains.
+func (e *Endpoint) Congested() bool { return e.waitingTotal >= e.cfg.SendBufferPackets }
+
+// CreditsAvailable returns remaining credit toward dst (for tests).
+func (e *Endpoint) CreditsAvailable(dst int32) int { return e.creditsFor(dst) }
+
+// OwedTo returns credit owed to src (for tests).
+func (e *Endpoint) OwedTo(src int32) int { return e.owed[src] }

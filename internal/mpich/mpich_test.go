@@ -1,0 +1,284 @@
+package mpich
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nicwarp/internal/proto"
+)
+
+func ev(src, dst int32) *proto.Packet {
+	return &proto.Packet{Kind: proto.KindEvent, SrcNode: src, DstNode: dst, Seq: 1}
+}
+
+func withBuf(c Config) Config {
+	if c.SendBufferPackets == 0 {
+		c.SendBufferPackets = 1000
+	}
+	return c
+}
+
+func newPair(t *testing.T, cfg Config) (*Endpoint, *Endpoint, *[]*proto.Packet, *[]*proto.Packet) {
+	t.Helper()
+	cfg = withBuf(cfg)
+	var at0, at1 []*proto.Packet
+	e0 := New(0, cfg, func(p *proto.Packet) { at0 = append(at0, p) })
+	e1 := New(1, cfg, func(p *proto.Packet) { at1 = append(at1, p) })
+	return e0, e1, &at0, &at1
+}
+
+func TestWindowBlocksExcessTraffic(t *testing.T) {
+	cfg := Config{Window: 3, ReturnThreshold: 2}
+	e0, _, out0, _ := newPair(t, cfg)
+	for i := 0; i < 5; i++ {
+		e0.Send(ev(0, 1))
+	}
+	if len(*out0) != 3 {
+		t.Fatalf("transmitted %d, want window of 3", len(*out0))
+	}
+	if e0.WaitingCount() != 2 {
+		t.Fatalf("waiting = %d, want 2", e0.WaitingCount())
+	}
+	if e0.Blocked.Value() != 2 {
+		t.Fatalf("blocked = %d", e0.Blocked.Value())
+	}
+}
+
+func TestCreditReturnUnblocks(t *testing.T) {
+	cfg := Config{Window: 2, ReturnThreshold: 2}
+	e0, e1, out0, _ := newPair(t, cfg)
+	for i := 0; i < 4; i++ {
+		e0.Send(ev(0, 1))
+	}
+	if len(*out0) != 2 {
+		t.Fatalf("transmitted %d", len(*out0))
+	}
+	// Receiver consumes both and crosses the return threshold.
+	var reply *proto.Packet
+	for _, p := range *out0 {
+		if r := e1.OnReceive(p); r != nil {
+			reply = r
+		}
+	}
+	if reply == nil {
+		t.Fatal("no explicit credit message at threshold")
+	}
+	if reply.Kind != proto.KindCredit || reply.Credits != 2 {
+		t.Fatalf("credit reply: %+v", reply)
+	}
+	// Sender books the credit; waiting packets drain.
+	e0.OnReceive(reply)
+	if len(*out0) != 4 {
+		t.Fatalf("after credit return, transmitted %d, want 4", len(*out0))
+	}
+	if e0.WaitingCount() != 0 {
+		t.Fatal("packets still waiting")
+	}
+}
+
+func TestPiggybackedCreditReturn(t *testing.T) {
+	cfg := Config{Window: 8, ReturnThreshold: 5}
+	e0, e1, out0, out1 := newPair(t, cfg)
+	// One event 0->1; threshold not reached, no explicit credit.
+	e0.Send(ev(0, 1))
+	if r := e1.OnReceive((*out0)[0]); r != nil {
+		t.Fatal("premature explicit credit")
+	}
+	if e1.OwedTo(0) != 1 {
+		t.Fatalf("owed = %d", e1.OwedTo(0))
+	}
+	// Reverse traffic 1->0 carries the owed credit.
+	e1.Send(ev(1, 0))
+	back := (*out1)[0]
+	if back.Credits != 1 {
+		t.Fatalf("piggybacked credits = %d, want 1", back.Credits)
+	}
+	before := e0.CreditsAvailable(1)
+	e0.OnReceive(back)
+	if e0.CreditsAvailable(1) != before+1 {
+		t.Fatal("credit not restored")
+	}
+}
+
+func TestControlTrafficBypassesFlowControl(t *testing.T) {
+	cfg := Config{Window: 1, ReturnThreshold: 1}
+	e0, _, out0, _ := newPair(t, cfg)
+	e0.Send(ev(0, 1)) // consumes the only credit
+	for i := 0; i < 3; i++ {
+		e0.Send(&proto.Packet{Kind: proto.KindGVTControl, SrcNode: 0, DstNode: 1})
+	}
+	if len(*out0) != 4 {
+		t.Fatalf("control traffic blocked: %d transmitted", len(*out0))
+	}
+}
+
+func TestCreditRepairConservation(t *testing.T) {
+	cfg := Config{Window: 4, ReturnThreshold: 3}
+	e0, e1, out0, _ := newPair(t, cfg)
+	// Sender transmits 4 packets; the NIC drops two in place and repairs
+	// the credit on the next one through.
+	for i := 0; i < 4; i++ {
+		e0.Send(ev(0, 1))
+	}
+	// Simulate the NIC: packets 1 and 2 dropped; packet 3 carries repair 2.
+	delivered := []*proto.Packet{(*out0)[0], (*out0)[3]}
+	delivered[1].CreditRepair = 2
+	var reply *proto.Packet
+	for _, p := range delivered {
+		if r := e1.OnReceive(p); r != nil {
+			reply = r
+		}
+	}
+	// Receiver owes 2 consumed + 2 repaired = 4 >= threshold 3.
+	if reply == nil {
+		t.Fatal("no credit reply despite repair crossing threshold")
+	}
+	e0.OnReceive(reply)
+	if got := e0.CreditsAvailable(1); got != 4 {
+		t.Fatalf("credits after repair = %d, want full window 4 (conservation)", got)
+	}
+	if e1.Repaired.Value() != 2 {
+		t.Fatalf("repaired = %d", e1.Repaired.Value())
+	}
+}
+
+// TestCreditConservationProperty: under any interleaving of sends and
+// deliveries with no drops, credits outstanding plus credits held plus
+// credits owed equals the window.
+func TestCreditConservationProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		cfg := withBuf(Config{Window: 5, ReturnThreshold: 3})
+		var wire []*proto.Packet // 0 -> 1 in flight
+		e0 := New(0, cfg, func(p *proto.Packet) { wire = append(wire, p) })
+		var replies []*proto.Packet
+		e1 := New(1, cfg, func(p *proto.Packet) { replies = append(replies, p) })
+		for _, send := range ops {
+			if send {
+				e0.Send(ev(0, 1))
+			} else if len(wire) > 0 {
+				p := wire[0]
+				wire = wire[1:]
+				if r := e1.OnReceive(p); r != nil {
+					e0.OnReceive(r)
+				}
+			}
+			// Conservation: available + in flight + owed by receiver +
+			// waiting-consumed... available credits plus consumed-but-not-
+			// returned must equal the window.
+			inFlight := len(wire)
+			total := e0.CreditsAvailable(1) + inFlight + e1.OwedTo(0)
+			if total != cfg.Window {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Window: 0, ReturnThreshold: 1, SendBufferPackets: 10},
+		{Window: 4, ReturnThreshold: 0, SendBufferPackets: 10},
+		{Window: 4, ReturnThreshold: 5, SendBufferPackets: 10},
+		{Window: 4, ReturnThreshold: 2, SendBufferPackets: 0},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("config %+v should be invalid", c)
+		}
+	}
+	if DefaultConfig().Validate() != nil {
+		t.Fatal("default config invalid")
+	}
+}
+
+func TestNewValidatesArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, Config{}, func(*proto.Packet) {}) },
+		func() { New(0, DefaultConfig(), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRefundDrainsWaiting(t *testing.T) {
+	cfg := withBuf(Config{Window: 1, ReturnThreshold: 1})
+	var out []*proto.Packet
+	e := New(0, cfg, func(p *proto.Packet) { out = append(out, p) })
+	e.Send(ev(0, 1)) // consumes the only credit
+	e.Send(ev(0, 1)) // waits
+	if e.WaitingCount() != 1 {
+		t.Fatalf("waiting = %d", e.WaitingCount())
+	}
+	// The NIC dropped the first packet in place; the refund releases the
+	// second.
+	e.Refund(1, 1)
+	if e.WaitingCount() != 0 || len(out) != 2 {
+		t.Fatalf("waiting=%d out=%d", e.WaitingCount(), len(out))
+	}
+	if e.Refunded.Value() != 1 {
+		t.Fatal("refund not counted")
+	}
+	e.Refund(1, 0) // no-op
+}
+
+func TestBookOwedThreshold(t *testing.T) {
+	cfg := withBuf(Config{Window: 8, ReturnThreshold: 3})
+	e := New(0, cfg, func(*proto.Packet) {})
+	if r := e.BookOwed(2, 2); r != nil {
+		t.Fatal("below threshold must not reply")
+	}
+	r := e.BookOwed(2, 1)
+	if r == nil || r.Kind != proto.KindCredit || r.Credits != 3 || r.DstNode != 2 {
+		t.Fatalf("reply = %+v", r)
+	}
+	if e.OwedTo(2) != 0 {
+		t.Fatal("owed not cleared")
+	}
+	if e.BookOwed(2, 0) != nil {
+		t.Fatal("zero booking must be a no-op")
+	}
+}
+
+func TestDispatchSanitizesForwardedPackets(t *testing.T) {
+	cfg := withBuf(Config{Window: 8, ReturnThreshold: 4})
+	var out []*proto.Packet
+	e := New(0, cfg, func(p *proto.Packet) { out = append(out, p) })
+	// A forwarded GVT token cloned from a previous hop carries stale
+	// credit piggybacks; dispatch must scrub them.
+	stale := &proto.Packet{Kind: proto.KindGVTControl, SrcNode: 0, DstNode: 1, Credits: 9, CreditRepair: 4}
+	e.Send(stale)
+	if out[0].Credits != 0 || out[0].CreditRepair != 0 {
+		t.Fatalf("stale piggyback not scrubbed: %+v", out[0])
+	}
+	// But an explicit credit message's payload survives.
+	grant := &proto.Packet{Kind: proto.KindCredit, SrcNode: 0, DstNode: 1, Credits: 7}
+	e.Send(grant)
+	if out[1].Credits != 7 {
+		t.Fatalf("credit grant clobbered: %+v", out[1])
+	}
+}
+
+func TestCongested(t *testing.T) {
+	cfg := Config{Window: 1, ReturnThreshold: 1, SendBufferPackets: 2}
+	e := New(0, cfg, func(*proto.Packet) {})
+	if e.Congested() {
+		t.Fatal("fresh endpoint congested")
+	}
+	e.Send(ev(0, 1)) // transmitted
+	e.Send(ev(0, 1)) // waits (1)
+	e.Send(ev(0, 1)) // waits (2) -> congested
+	if !e.Congested() {
+		t.Fatal("full send buffer must report congestion")
+	}
+}

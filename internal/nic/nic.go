@@ -1,0 +1,526 @@
+// Package nic models the programmable network interface card: a LanAI4-class
+// device with its own slow processor (66 MHz), limited SRAM, send and receive
+// queues, DMA engines toward the host I/O bus, and — the paper's enabling
+// feature — replaceable firmware.
+//
+// Firmware is expressed as a Go implementation of the Firmware interface.
+// Hooks run at packet dequeue time on the modeled NIC processor; every unit
+// of work a hook performs must be paid for in NIC processor cycles through
+// API.Charge, which is how the model reproduces the paper's observation that
+// per-message NIC checks make NIC-GVT *slower* than the host implementation
+// when GVT runs infrequently.
+package nic
+
+import (
+	"fmt"
+
+	"nicwarp/internal/des"
+	"nicwarp/internal/proto"
+	"nicwarp/internal/simnet"
+	"nicwarp/internal/stats"
+	"nicwarp/internal/vtime"
+)
+
+// Config holds NIC hardware parameters.
+type Config struct {
+	// ClockHz is the NIC processor clock (66 MHz LanAI4 in the paper).
+	ClockHz float64
+	// SendCycles is the base processor work to launch one packet.
+	SendCycles int64
+	// RecvCycles is the base processor work to accept one packet.
+	RecvCycles int64
+	// SendQueueCap bounds the transmit backlog in packets (the paper's NIC
+	// buffer is small; the cap exists to surface runaway backlogs — hitting
+	// it is recorded, not fatal).
+	SendQueueCap int
+	// RxQueueCap is the receive-buffer capacity in packets (the paper's
+	// NIC has a 4 KB buffer, roughly 28 wire packets). Myrinet's link-level
+	// stop/go flow control propagates a full receive buffer back to the
+	// sender, so host-bound packets occupy a reserved slot from the moment
+	// the sending NIC launches them until the destination *host* consumes
+	// them; a congested receiver therefore backs traffic up into the
+	// sender's NIC send queue — the buffering the paper's early
+	// cancellation preys on (its Figure 3a).
+	RxQueueCap int
+}
+
+// DefaultConfig returns parameters for the paper's LanAI4 NIC: a 66 MHz
+// processor whose per-packet firmware path (header parsing, DMA programming,
+// ring bookkeeping) runs on the order of ten microseconds — the "equivalent
+// of 10 year old technology ... already saddled with the other
+// responsibilities" — and a 4 KB receive buffer holding eight BIP packets.
+func DefaultConfig() Config {
+	return Config{
+		ClockHz:      66e6,
+		SendCycles:   400, // ~6us firmware transmit path
+		RecvCycles:   320, // ~4.8us firmware receive path
+		SendQueueCap: 4096,
+		RxQueueCap:   6,
+	}
+}
+
+// gated reports whether a packet kind consumes a receive-buffer slot at the
+// destination. GVT tokens and broadcasts are consumed on the NIC itself and
+// never cross toward the host.
+func gated(k proto.Kind) bool {
+	return k != proto.KindGVTToken && k != proto.KindGVTBroadcast
+}
+
+// Verdict is a firmware decision about a packet.
+type Verdict int
+
+// Firmware verdicts.
+const (
+	// VerdictForward continues the packet along its normal path: to the
+	// wire for outgoing packets, to the host for incoming ones.
+	VerdictForward Verdict = iota
+	// VerdictConsume ends the packet's journey at the NIC: the firmware has
+	// handled it (a GVT token absorbed and regenerated, for example).
+	VerdictConsume
+	// VerdictDrop discards the packet (early cancellation).
+	VerdictDrop
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictForward:
+		return "forward"
+	case VerdictConsume:
+		return "consume"
+	case VerdictDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// NotifyTag labels a NIC-to-host doorbell interrupt.
+type NotifyTag int
+
+// Doorbell tags.
+const (
+	// NotifyGVTControl: a GVT token arrived on the NIC and the host must
+	// report its variables (colour change handshake).
+	NotifyGVTControl NotifyTag = iota
+	// NotifyGVTValue: a freshly computed GVT value is in the shared window.
+	NotifyGVTValue
+	// NotifyCreditRefund: the NIC dropped packets in place and recorded the
+	// stranded flow-control credit in the shared window for the host to
+	// reclaim.
+	NotifyCreditRefund
+)
+
+// Firmware is a NIC program. Implementations must do all their work inside
+// the hooks and account for it with API.Charge; they must not retain the
+// API between hooks.
+type Firmware interface {
+	// Name identifies the firmware in diagnostics.
+	Name() string
+	// OnHostSend runs when a host-originated packet is dequeued for
+	// transmission. VerdictConsume and VerdictDrop both prevent
+	// transmission; Consume means the firmware took ownership.
+	OnHostSend(pkt *proto.Packet, api API) Verdict
+	// OnWireReceive runs when a packet arrives from the fabric, before any
+	// DMA toward the host.
+	OnWireReceive(pkt *proto.Packet, api API) Verdict
+	// OnDoorbell runs when the host rings the NIC after updating the
+	// shared window (the fallback path when there is no outgoing traffic
+	// to piggyback on).
+	OnDoorbell(api API)
+}
+
+// API is the capability surface a firmware hook sees — the paper's
+// programming model: queue access, shared host memory, packet injection and
+// host notification.
+type API interface {
+	// Node returns this NIC's node id.
+	Node() int
+	// NumNodes returns the cluster size (for ring next-hop and broadcast).
+	NumNodes() int
+	// Charge accounts n extra NIC processor cycles to the current hook.
+	Charge(n int64)
+	// SendQueue returns the packets queued for transmission and not yet
+	// in flight. The slice is live; use RemoveFromSendQueue to mutate.
+	SendQueue() []*proto.Packet
+	// RemoveFromSendQueue removes every queued packet matching pred and
+	// returns the removed packets in queue order.
+	RemoveFromSendQueue(pred func(*proto.Packet) bool) []*proto.Packet
+	// Inject queues a NIC-generated packet for transmission. Injected
+	// packets do not pass through OnHostSend.
+	Inject(pkt *proto.Packet)
+	// Shared returns the host/NIC shared memory window.
+	Shared() *SharedWindow
+	// NotifyHost raises a doorbell interrupt toward the host.
+	NotifyHost(tag NotifyTag)
+	// Stats returns the NIC's counters for firmware-maintained metrics.
+	Stats() *Stats
+}
+
+// Stats aggregates NIC counters, including those maintained by firmware.
+type Stats struct {
+	HostTx      stats.Counter // host-originated packets transmitted
+	NICTx       stats.Counter // NIC-originated packets transmitted
+	RxDelivered stats.Counter // packets DMAed to the host
+	RxConsumed  stats.Counter // packets absorbed by firmware
+	RxDropped   stats.Counter // inbound packets dropped by firmware
+
+	DroppedInPlace stats.Counter // outgoing positives cancelled in the send queue
+	AntisFiltered  stats.Counter // outgoing antis filtered against the drop buffer
+	TokensSeen     stats.Counter // GVT tokens handled on the NIC
+	SendQDepth     stats.Gauge   // transmit backlog high-water
+	SendQOverflow  stats.Counter // enqueue attempts beyond SendQueueCap
+	FirmwareCycles stats.Counter // extra cycles charged by firmware hooks
+}
+
+// outEntry is one transmit-queue slot.
+type outEntry struct {
+	pkt     *proto.Packet
+	fromNIC bool
+}
+
+// NIC is one node's network interface.
+type NIC struct {
+	eng    *des.Engine
+	node   int
+	cfg    Config
+	proc   *des.Resource // the LanAI processor
+	tx     *des.Resource // wire serializer toward the switch
+	fabric *simnet.Fabric
+	fw     Firmware
+	shared *SharedWindow
+
+	// deliverToHost is wired by the cluster assembly: it models the
+	// NIC-to-host DMA (I/O bus) and host-side delivery; it must invoke
+	// done when the host has consumed the packet, freeing the rx slot.
+	deliverToHost func(pkt *proto.Packet, done func())
+	// notifyHost is wired by the cluster assembly: it models the doorbell
+	// write and the host interrupt.
+	notifyHost func(NotifyTag)
+	// peer resolves another node's NIC for backpressure accounting.
+	peer func(node int) *NIC
+
+	sendQ     []outEntry
+	recvQ     []*proto.Packet
+	txPumping bool
+	rxPumping bool
+	txStalled bool // head-of-line blocked on a full destination
+
+	rxHeld    int      // reserved rx slots: in flight + queued + at host
+	rxWaiters []func() // senders waiting for an rx slot
+
+	pendingCycles int64 // accumulated via API.Charge during a hook
+
+	Stats Stats
+}
+
+// New creates a NIC attached to port node of the fabric, running fw.
+func New(eng *des.Engine, node int, cfg Config, fabric *simnet.Fabric, fw Firmware) *NIC {
+	if fw == nil {
+		panic("nic: nil firmware")
+	}
+	if cfg.ClockHz <= 0 {
+		panic("nic: nonpositive clock")
+	}
+	n := &NIC{
+		eng:    eng,
+		node:   node,
+		cfg:    cfg,
+		proc:   des.NewResource(eng, fmt.Sprintf("nic-proc-%d", node)),
+		tx:     des.NewResource(eng, fmt.Sprintf("nic-tx-%d", node)),
+		fabric: fabric,
+		fw:     fw,
+		shared: NewSharedWindow(),
+	}
+	fabric.Attach(node, n.wireReceive)
+	return n
+}
+
+// Wire connects the NIC to its host-side delivery and notification paths.
+// Must be called before traffic flows.
+func (n *NIC) Wire(deliverToHost func(pkt *proto.Packet, done func()), notifyHost func(NotifyTag)) {
+	if deliverToHost == nil || notifyHost == nil {
+		panic("nic: Wire with nil callback")
+	}
+	n.deliverToHost = deliverToHost
+	n.notifyHost = notifyHost
+}
+
+// WirePeers supplies the NIC-to-NIC lookup used for link-level
+// backpressure. Must be called before traffic flows.
+func (n *NIC) WirePeers(peer func(node int) *NIC) {
+	if peer == nil {
+		panic("nic: WirePeers with nil lookup")
+	}
+	n.peer = peer
+}
+
+// tryReserveRx claims a receive slot, or returns false when the buffer is
+// full.
+func (n *NIC) tryReserveRx() bool {
+	if n.rxHeld >= n.cfg.RxQueueCap {
+		return false
+	}
+	n.rxHeld++
+	return true
+}
+
+// releaseRx frees a receive slot and wakes stalled senders.
+func (n *NIC) releaseRx() {
+	if n.rxHeld <= 0 {
+		panic("nic: rx slot release underflow")
+	}
+	n.rxHeld--
+	waiters := n.rxWaiters
+	n.rxWaiters = nil
+	for _, w := range waiters {
+		w()
+	}
+}
+
+// RxHeld returns the number of occupied receive slots (for tests).
+func (n *NIC) RxHeld() int { return n.rxHeld }
+
+// Shared returns the host/NIC shared memory window.
+func (n *NIC) Shared() *SharedWindow { return n.shared }
+
+// Firmware returns the installed firmware.
+func (n *NIC) Firmware() Firmware { return n.fw }
+
+// Node returns the NIC's node id.
+func (n *NIC) Node() int { return n.node }
+
+// ProcUtilization returns the NIC processor utilization.
+func (n *NIC) ProcUtilization() float64 { return n.proc.Utilization() }
+
+// Idle reports whether the NIC has no queued or in-flight work.
+func (n *NIC) Idle() bool {
+	return len(n.sendQ) == 0 && len(n.recvQ) == 0 && n.proc.Idle() && n.tx.Idle()
+}
+
+// SendQueueLen returns the current transmit backlog (for tests).
+func (n *NIC) SendQueueLen() int { return len(n.sendQ) }
+
+// HostEnqueue accepts a packet whose host-to-NIC DMA just completed.
+func (n *NIC) HostEnqueue(pkt *proto.Packet) {
+	n.enqueue(outEntry{pkt: pkt})
+}
+
+// enqueue adds to the transmit queue and starts the pump.
+func (n *NIC) enqueue(e outEntry) {
+	if len(n.sendQ) >= n.cfg.SendQueueCap {
+		n.Stats.SendQOverflow.Inc()
+	}
+	n.sendQ = append(n.sendQ, e)
+	n.Stats.SendQDepth.Set(int64(len(n.sendQ)))
+	n.txPump()
+}
+
+// cycles converts a processor cycle count to model time at the NIC clock.
+func (n *NIC) cycles(c int64) vtime.ModelTime {
+	return vtime.Cycles(c, n.cfg.ClockHz)
+}
+
+// takeCharge drains cycles accumulated by firmware during the last hook.
+func (n *NIC) takeCharge() int64 {
+	c := n.pendingCycles
+	n.pendingCycles = 0
+	n.Stats.FirmwareCycles.Add(c)
+	return c
+}
+
+// txPump drives the transmit side: dequeue head, run firmware on the NIC
+// processor, then serialize onto the wire. Strictly one packet at a time,
+// modeling the single LanAI processor shared by all duties. A host-bound
+// packet must first reserve a receive slot at its destination; when the
+// destination is congested the pump stalls head-of-line — Myrinet's stop/go
+// backpressure — and the backlog accumulates here, in the send queue,
+// where the early-cancellation firmware can reach it.
+func (n *NIC) txPump() {
+	if n.txPumping || n.txStalled || len(n.sendQ) == 0 {
+		return
+	}
+	head := n.sendQ[0]
+	if gated(head.pkt.Kind) && head.pkt.DstNode >= 0 {
+		if n.peer == nil {
+			panic("nic: transmit before WirePeers")
+		}
+		dst := n.peer(int(head.pkt.DstNode))
+		if !dst.tryReserveRx() {
+			n.txStalled = true
+			dst.rxWaiters = append(dst.rxWaiters, func() {
+				n.txStalled = false
+				n.txPump()
+			})
+			return
+		}
+	}
+	n.txPumping = true
+	entry := n.sendQ[0]
+	n.sendQ = n.sendQ[1:]
+	n.Stats.SendQDepth.Set(int64(len(n.sendQ)))
+
+	verdict := VerdictForward
+	if !entry.fromNIC {
+		verdict = n.fw.OnHostSend(entry.pkt, apiImpl{n})
+	}
+	cost := n.cycles(n.cfg.SendCycles + n.takeCharge())
+	n.proc.Submit(cost, func() {
+		switch verdict {
+		case VerdictForward:
+			n.transmit(entry)
+		case VerdictConsume, VerdictDrop:
+			// The reserved slot at the destination is never used.
+			n.unreserve(entry.pkt)
+			n.txDone()
+		default:
+			panic(fmt.Sprintf("nic: bad send verdict %v", verdict))
+		}
+	})
+}
+
+// unreserve returns the rx slot reserved for a packet that will not travel.
+func (n *NIC) unreserve(pkt *proto.Packet) {
+	if gated(pkt.Kind) && pkt.DstNode >= 0 {
+		n.peer(int(pkt.DstNode)).releaseRx()
+	}
+}
+
+// transmit serializes the packet onto the wire and injects it into the
+// fabric, then continues the pump.
+func (n *NIC) transmit(entry outEntry) {
+	size := entry.pkt.EncodedSize()
+	serialize := vtime.TransferTime(size, n.linkBandwidth())
+	n.tx.Submit(serialize, func() {
+		if entry.fromNIC {
+			n.Stats.NICTx.Inc()
+		} else {
+			n.Stats.HostTx.Inc()
+		}
+		n.fabric.Inject(n.node, entry.pkt)
+		n.txDone()
+	})
+}
+
+// txDone re-arms the pump after a packet completes its NIC journey.
+func (n *NIC) txDone() {
+	n.txPumping = false
+	n.txPump()
+}
+
+// linkBandwidth returns the NIC-to-switch link bandwidth. The NIC drives the
+// same links the fabric models.
+func (n *NIC) linkBandwidth() float64 { return n.fabric.LinkBandwidth() }
+
+// wireReceive accepts a packet delivered by the fabric.
+func (n *NIC) wireReceive(pkt *proto.Packet) {
+	n.recvQ = append(n.recvQ, pkt)
+	n.rxPump()
+}
+
+// rxPump drives the receive side: run firmware, then DMA to the host.
+func (n *NIC) rxPump() {
+	if n.rxPumping || len(n.recvQ) == 0 {
+		return
+	}
+	n.rxPumping = true
+	pkt := n.recvQ[0]
+	n.recvQ = n.recvQ[1:]
+
+	verdict := n.fw.OnWireReceive(pkt, apiImpl{n})
+	cost := n.cycles(n.cfg.RecvCycles + n.takeCharge())
+	n.proc.Submit(cost, func() {
+		switch verdict {
+		case VerdictForward:
+			n.Stats.RxDelivered.Inc()
+			if n.deliverToHost == nil {
+				panic("nic: receive before Wire")
+			}
+			if gated(pkt.Kind) {
+				n.deliverToHost(pkt, n.releaseRx)
+			} else {
+				n.deliverToHost(pkt, func() {})
+			}
+		case VerdictConsume:
+			n.Stats.RxConsumed.Inc()
+			if gated(pkt.Kind) {
+				n.releaseRx()
+			}
+		case VerdictDrop:
+			n.Stats.RxDropped.Inc()
+			if gated(pkt.Kind) {
+				n.releaseRx()
+			}
+		default:
+			panic(fmt.Sprintf("nic: bad receive verdict %v", verdict))
+		}
+		n.rxPumping = false
+		n.rxPump()
+	})
+}
+
+// Doorbell is called (through the modeled bus) when the host rings the NIC
+// after a shared-window update.
+func (n *NIC) Doorbell() {
+	n.fw.OnDoorbell(apiImpl{n})
+	cost := n.cycles(n.takeCharge())
+	n.proc.Submit(cost, nil)
+}
+
+// apiImpl implements API as a view over the NIC. A distinct type keeps the
+// capability surface explicit.
+type apiImpl struct{ n *NIC }
+
+func (a apiImpl) Node() int     { return a.n.node }
+func (a apiImpl) NumNodes() int { return a.n.fabric.NumPorts() }
+func (a apiImpl) Charge(c int64) {
+	if c < 0 {
+		panic("nic: negative cycle charge")
+	}
+	a.n.pendingCycles += c
+}
+
+func (a apiImpl) SendQueue() []*proto.Packet {
+	out := make([]*proto.Packet, len(a.n.sendQ))
+	for i, e := range a.n.sendQ {
+		out[i] = e.pkt
+	}
+	return out
+}
+
+func (a apiImpl) RemoveFromSendQueue(pred func(*proto.Packet) bool) []*proto.Packet {
+	var removed []*proto.Packet
+	kept := a.n.sendQ[:0]
+	for _, e := range a.n.sendQ {
+		if !e.fromNIC && pred(e.pkt) {
+			removed = append(removed, e.pkt)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	// Zero the tail so removed entries do not linger.
+	for i := len(kept); i < len(a.n.sendQ); i++ {
+		a.n.sendQ[i] = outEntry{}
+	}
+	a.n.sendQ = kept
+	a.n.Stats.SendQDepth.Set(int64(len(a.n.sendQ)))
+	return removed
+}
+
+func (a apiImpl) Inject(pkt *proto.Packet) {
+	if pkt == nil {
+		panic("nic: Inject nil packet")
+	}
+	a.n.enqueue(outEntry{pkt: pkt, fromNIC: true})
+}
+
+func (a apiImpl) Shared() *SharedWindow { return a.n.shared }
+
+func (a apiImpl) NotifyHost(tag NotifyTag) {
+	if a.n.notifyHost == nil {
+		panic("nic: NotifyHost before Wire")
+	}
+	a.n.notifyHost(tag)
+}
+
+func (a apiImpl) Stats() *Stats { return &a.n.Stats }

@@ -1,0 +1,341 @@
+package nic
+
+import (
+	"testing"
+
+	"nicwarp/internal/des"
+	"nicwarp/internal/proto"
+	"nicwarp/internal/simnet"
+	"nicwarp/internal/vtime"
+)
+
+// stubFirmware forwards everything by default; hooks can be overridden.
+type stubFirmware struct {
+	onHostSend    func(*proto.Packet, API) Verdict
+	onWireReceive func(*proto.Packet, API) Verdict
+	onDoorbell    func(API)
+}
+
+func (s *stubFirmware) Name() string { return "stub" }
+func (s *stubFirmware) OnHostSend(p *proto.Packet, a API) Verdict {
+	if s.onHostSend != nil {
+		return s.onHostSend(p, a)
+	}
+	return VerdictForward
+}
+func (s *stubFirmware) OnWireReceive(p *proto.Packet, a API) Verdict {
+	if s.onWireReceive != nil {
+		return s.onWireReceive(p, a)
+	}
+	return VerdictForward
+}
+func (s *stubFirmware) OnDoorbell(a API) {
+	if s.onDoorbell != nil {
+		s.onDoorbell(a)
+	}
+}
+
+type rig struct {
+	eng    *des.Engine
+	fabric *simnet.Fabric
+	nics   []*NIC
+	toHost [][]*proto.Packet
+	bells  [][]NotifyTag
+}
+
+func newRig(t *testing.T, n int, fw func(i int) Firmware) *rig {
+	t.Helper()
+	r := &rig{
+		eng:    des.NewEngine(),
+		toHost: make([][]*proto.Packet, n),
+		bells:  make([][]NotifyTag, n),
+	}
+	r.fabric = simnet.NewFabric(r.eng, simnet.DefaultConfig(), n)
+	for i := 0; i < n; i++ {
+		i := i
+		nc := New(r.eng, i, DefaultConfig(), r.fabric, fw(i))
+		nc.Wire(
+			func(p *proto.Packet, done func()) {
+				r.toHost[i] = append(r.toHost[i], p)
+				done()
+			},
+			func(tag NotifyTag) { r.bells[i] = append(r.bells[i], tag) },
+		)
+		r.nics = append(r.nics, nc)
+	}
+	for _, nc := range r.nics {
+		nc.WirePeers(func(node int) *NIC { return r.nics[node] })
+	}
+	return r
+}
+
+func evPkt(src, dst int32) *proto.Packet {
+	return &proto.Packet{Kind: proto.KindEvent, SrcNode: src, DstNode: dst}
+}
+
+func TestEndToEndForwarding(t *testing.T) {
+	r := newRig(t, 2, func(int) Firmware { return &stubFirmware{} })
+	p := evPkt(0, 1)
+	r.nics[0].HostEnqueue(p)
+	r.eng.Run(vtime.ModelInfinity)
+	if len(r.toHost[1]) != 1 || r.toHost[1][0] != p {
+		t.Fatalf("delivery: %v", r.toHost[1])
+	}
+	if r.nics[0].Stats.HostTx.Value() != 1 {
+		t.Fatalf("HostTx = %d", r.nics[0].Stats.HostTx.Value())
+	}
+	if r.nics[1].Stats.RxDelivered.Value() != 1 {
+		t.Fatalf("RxDelivered = %d", r.nics[1].Stats.RxDelivered.Value())
+	}
+	if !r.nics[0].Idle() || !r.nics[1].Idle() {
+		t.Fatal("NICs should be idle after drain")
+	}
+}
+
+func TestSendVerdictDrop(t *testing.T) {
+	r := newRig(t, 2, func(i int) Firmware {
+		if i == 0 {
+			return &stubFirmware{onHostSend: func(p *proto.Packet, a API) Verdict {
+				return VerdictDrop
+			}}
+		}
+		return &stubFirmware{}
+	})
+	r.nics[0].HostEnqueue(evPkt(0, 1))
+	r.eng.Run(vtime.ModelInfinity)
+	if len(r.toHost[1]) != 0 {
+		t.Fatal("dropped packet was delivered")
+	}
+	if r.nics[0].Stats.HostTx.Value() != 0 {
+		t.Fatal("dropped packet counted as transmitted")
+	}
+}
+
+func TestReceiveVerdictConsume(t *testing.T) {
+	r := newRig(t, 2, func(i int) Firmware {
+		if i == 1 {
+			return &stubFirmware{onWireReceive: func(p *proto.Packet, a API) Verdict {
+				return VerdictConsume
+			}}
+		}
+		return &stubFirmware{}
+	})
+	r.nics[0].HostEnqueue(evPkt(0, 1))
+	r.eng.Run(vtime.ModelInfinity)
+	if len(r.toHost[1]) != 0 {
+		t.Fatal("consumed packet reached host")
+	}
+	if r.nics[1].Stats.RxConsumed.Value() != 1 {
+		t.Fatalf("RxConsumed = %d", r.nics[1].Stats.RxConsumed.Value())
+	}
+}
+
+func TestFirmwareChargeSlowsNIC(t *testing.T) {
+	// The same traffic with an expensive firmware must take longer: this is
+	// the mechanism behind the paper's NIC-GVT overhead at large periods.
+	run := func(extra int64) vtime.ModelTime {
+		r := newRig(t, 2, func(i int) Firmware {
+			return &stubFirmware{onHostSend: func(p *proto.Packet, a API) Verdict {
+				a.Charge(extra)
+				return VerdictForward
+			}}
+		})
+		for k := 0; k < 50; k++ {
+			r.nics[0].HostEnqueue(evPkt(0, 1))
+		}
+		return r.eng.Run(vtime.ModelInfinity)
+	}
+	fast := run(0)
+	slow := run(10000)
+	if slow <= fast {
+		t.Fatalf("expensive firmware not slower: %v vs %v", slow, fast)
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	r := newRig(t, 2, func(int) Firmware {
+		return &stubFirmware{onHostSend: func(p *proto.Packet, a API) Verdict {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			a.Charge(-1)
+			return VerdictForward
+		}}
+	})
+	r.nics[0].HostEnqueue(evPkt(0, 1))
+	r.eng.Run(vtime.ModelInfinity)
+}
+
+func TestInjectBypassesOnHostSend(t *testing.T) {
+	hookRuns := 0
+	r := newRig(t, 2, func(i int) Firmware {
+		if i == 0 {
+			return &stubFirmware{
+				onHostSend: func(p *proto.Packet, a API) Verdict {
+					hookRuns++
+					// Inject a NIC-generated token alongside the host packet.
+					tok := &proto.Packet{Kind: proto.KindGVTToken, SrcNode: 0, DstNode: 1}
+					a.Inject(tok)
+					return VerdictForward
+				},
+			}
+		}
+		return &stubFirmware{}
+	})
+	r.nics[0].HostEnqueue(evPkt(0, 1))
+	r.eng.Run(vtime.ModelInfinity)
+	if hookRuns != 1 {
+		t.Fatalf("OnHostSend ran %d times; injected packet must bypass it", hookRuns)
+	}
+	if r.nics[0].Stats.NICTx.Value() != 1 || r.nics[0].Stats.HostTx.Value() != 1 {
+		t.Fatalf("NICTx=%d HostTx=%d", r.nics[0].Stats.NICTx.Value(), r.nics[0].Stats.HostTx.Value())
+	}
+	if len(r.toHost[1]) != 2 {
+		t.Fatalf("host 1 received %d packets, want 2", len(r.toHost[1]))
+	}
+}
+
+func TestRemoveFromSendQueue(t *testing.T) {
+	// Queue several packets behind a slow head, then cancel some from the
+	// receive path — the early-cancellation mechanic.
+	r := newRig(t, 2, func(i int) Firmware {
+		if i == 0 {
+			return &stubFirmware{onWireReceive: func(p *proto.Packet, a API) Verdict {
+				if p.IsAnti() {
+					removed := a.RemoveFromSendQueue(func(q *proto.Packet) bool {
+						return q.SendTS > p.RecvTS
+					})
+					for range removed {
+						a.Stats().DroppedInPlace.Inc()
+					}
+					return VerdictForward
+				}
+				return VerdictForward
+			}}
+		}
+		return &stubFirmware{}
+	})
+	// Enqueue packets with ascending timestamps; the head enters flight
+	// immediately, the rest are cancellable.
+	for k := 0; k < 5; k++ {
+		p := evPkt(0, 1)
+		p.SendTS = vtime.VTime(100 + k*10) // 100,110,120,130,140
+		p.EventID = uint64(k)
+		r.nics[0].HostEnqueue(p)
+	}
+	// An anti-message with receive timestamp 115 arrives from node 1.
+	anti := &proto.Packet{Kind: proto.KindAnti, SrcNode: 1, DstNode: 0, RecvTS: 115}
+	r.nics[1].HostEnqueue(anti)
+	r.eng.Run(vtime.ModelInfinity)
+	dropped := r.nics[0].Stats.DroppedInPlace.Value()
+	delivered := len(r.toHost[1])
+	if dropped == 0 {
+		t.Fatal("no packets cancelled in place")
+	}
+	if int64(delivered)+dropped != 5 {
+		t.Fatalf("delivered %d + dropped %d != 5", delivered, dropped)
+	}
+	// Every delivered event packet must have SendTS <= 115 unless it was
+	// already in flight when the anti arrived (the head).
+	late := 0
+	for _, p := range r.toHost[1] {
+		if p.SendTS > 115 {
+			late++
+		}
+	}
+	if late > 2 {
+		t.Fatalf("%d late packets escaped cancellation", late)
+	}
+}
+
+func TestNotifyHostDoorbell(t *testing.T) {
+	r := newRig(t, 2, func(i int) Firmware {
+		if i == 1 {
+			return &stubFirmware{onWireReceive: func(p *proto.Packet, a API) Verdict {
+				a.NotifyHost(NotifyGVTControl)
+				return VerdictConsume
+			}}
+		}
+		return &stubFirmware{}
+	})
+	r.nics[0].HostEnqueue(evPkt(0, 1))
+	r.eng.Run(vtime.ModelInfinity)
+	if len(r.bells[1]) != 1 || r.bells[1][0] != NotifyGVTControl {
+		t.Fatalf("bells = %v", r.bells[1])
+	}
+}
+
+func TestDoorbellInvokesFirmware(t *testing.T) {
+	rang := false
+	r := newRig(t, 1, func(int) Firmware {
+		return &stubFirmware{onDoorbell: func(a API) {
+			rang = true
+			a.Charge(100)
+		}}
+	})
+	r.nics[0].Doorbell()
+	r.eng.Run(vtime.ModelInfinity)
+	if !rang {
+		t.Fatal("doorbell hook did not run")
+	}
+	if r.nics[0].Stats.FirmwareCycles.Value() != 100 {
+		t.Fatalf("firmware cycles = %d", r.nics[0].Stats.FirmwareCycles.Value())
+	}
+}
+
+func TestSendQueueDepthHighWater(t *testing.T) {
+	r := newRig(t, 2, func(int) Firmware { return &stubFirmware{} })
+	for k := 0; k < 10; k++ {
+		r.nics[0].HostEnqueue(evPkt(0, 1))
+	}
+	if r.nics[0].Stats.SendQDepth.Max() < 5 {
+		t.Fatalf("high-water = %d, want a real backlog", r.nics[0].Stats.SendQDepth.Max())
+	}
+	r.eng.Run(vtime.ModelInfinity)
+	if len(r.toHost[1]) != 10 {
+		t.Fatalf("delivered %d", len(r.toHost[1]))
+	}
+}
+
+func TestQueueOverflowCounted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SendQueueCap = 2
+	e := des.NewEngine()
+	f := simnet.NewFabric(e, simnet.DefaultConfig(), 2)
+	n0 := New(e, 0, cfg, f, &stubFirmware{})
+	n1 := New(e, 1, DefaultConfig(), f, &stubFirmware{})
+	sink := func(p *proto.Packet, done func()) { done() }
+	bell := func(NotifyTag) {}
+	n0.Wire(sink, bell)
+	n1.Wire(sink, bell)
+	peers := []*NIC{n0, n1}
+	n0.WirePeers(func(i int) *NIC { return peers[i] })
+	n1.WirePeers(func(i int) *NIC { return peers[i] })
+	for k := 0; k < 5; k++ {
+		n0.HostEnqueue(evPkt(0, 1))
+	}
+	if n0.Stats.SendQOverflow.Value() == 0 {
+		t.Fatal("overflow not recorded")
+	}
+	e.Run(vtime.ModelInfinity)
+}
+
+func TestNilFirmwarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := des.NewEngine()
+	f := simnet.NewFabric(e, simnet.DefaultConfig(), 1)
+	New(e, 0, DefaultConfig(), f, nil)
+}
+
+func TestVerdictString(t *testing.T) {
+	if VerdictForward.String() != "forward" || VerdictDrop.String() != "drop" ||
+		VerdictConsume.String() != "consume" || Verdict(7).String() == "" {
+		t.Fatal("verdict strings")
+	}
+}

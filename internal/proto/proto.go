@@ -1,0 +1,275 @@
+// Package proto defines the wire format shared by every layer of the stack:
+// the BIP transport header, the MPICH flow-control header, and the WARPED
+// "Basic Event Message" including the fields the paper reuses for
+// piggybacking ("GVT information can be piggybacked on many of the normal
+// message fields, which carry pointer information only useful on the
+// originating LP").
+//
+// The format is flattened into a single Packet struct, the way NIC firmware
+// sees a frame: one header it can parse with fixed offsets. Packets carry a
+// real binary encoding (Marshal/Unmarshal) so the hardware model charges
+// bandwidth for actual on-wire bytes, and so the encoding itself is tested.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nicwarp/internal/vtime"
+)
+
+// Kind discriminates packet types at the NIC. The NIC firmware dispatches on
+// this field, exactly as the paper's firmware distinguishes GVT tokens and
+// anti-messages from ordinary event traffic.
+type Kind uint8
+
+const (
+	// KindEvent is a positive Time Warp event message.
+	KindEvent Kind = iota
+	// KindAnti is an anti-message cancelling a previously sent event.
+	KindAnti
+	// KindGVTToken is a Mattern GVT token circulating around the LP ring.
+	KindGVTToken
+	// KindGVTBroadcast announces a newly computed GVT value to all LPs.
+	KindGVTBroadcast
+	// KindGVTControl is a host-generated GVT control message used by the
+	// host-only Mattern implementation (the WARPED baseline), where tokens
+	// are ordinary host messages.
+	KindGVTControl
+	// KindCredit is an explicit MPICH credit-return message, sent when the
+	// receiver has no reverse traffic to piggyback credit on.
+	KindCredit
+	// KindAck acknowledges delivery of one event-like message; used by the
+	// pGVT manager, which tracks unacknowledged sends (D'Souza et al., the
+	// other GVT algorithm WARPED implements). RecvTS carries the
+	// acknowledged receive timestamp.
+	KindAck
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindEvent:
+		return "event"
+	case KindAnti:
+		return "anti"
+	case KindGVTToken:
+		return "gvt-token"
+	case KindGVTBroadcast:
+		return "gvt-broadcast"
+	case KindGVTControl:
+		return "gvt-control"
+	case KindCredit:
+		return "credit"
+	case KindAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Sign values for Time Warp messages.
+const (
+	SignPositive int8 = 1
+	SignNegative int8 = -1
+)
+
+// Packet is one frame as seen by the NIC. Fixed-size encoding; see
+// EncodedSize.
+type Packet struct {
+	// ---- BIP transport header ----
+	Seq     uint64 // per (SrcNode,DstNode) sequence number, assigned by BIP
+	SrcNode int32  // sending node (LP) id
+	DstNode int32  // destination node (LP) id; -1 means broadcast
+
+	// ---- MPICH flow-control header ----
+	Kind         Kind
+	Credits      int32 // piggybacked credit returned to SrcNode's view of DstNode
+	CreditRepair int32 // NIC-added credit recovered from packets dropped in place
+
+	// ---- WARPED Basic Event Message ----
+	SrcObj  int32 // sending simulation object (global id)
+	DstObj  int32 // destination simulation object (global id)
+	SendTS  vtime.VTime
+	RecvTS  vtime.VTime
+	EventID uint64 // unique id; anti-messages carry the id of their positive
+	Payload uint64 // application payload (opaque to the kernel and NIC)
+
+	// ColorEpoch stamps event-like packets with the sender's GVT
+	// computation epoch at send time. A message is "white" with respect to
+	// computation C when its stamp is below C, "red" otherwise — Mattern's
+	// colours generalized to sequential computations.
+	ColorEpoch uint32
+
+	// ---- Piggyback fields (the paper's "four unused fields") ----
+	// GVT handshake: host -> NIC variable report for the NIC-level Mattern
+	// implementation. Valid when PiggyGVTValid.
+	PiggyGVTValid bool
+	PiggyT        vtime.VTime // host's LVT estimate (T)
+	PiggyTMin     vtime.VTime // min timestamp of red messages sent (Tmin)
+	PiggyV        int64       // outstanding white message count (V)
+	PiggyRound    int32       // round of the GVT computation being answered
+
+	// Early-cancellation consistency: the host piggybacks the epoch of the
+	// last anti-message it has processed ("the host reports the last
+	// received anti-stamp to the NIC by piggybacking ... on all outgoing
+	// messages"). The epoch is a per-node monotone counter over processed
+	// anti-messages; the NIC compares it with the epoch at which it handed
+	// an anti-message up to decide which queued sends predate the host's
+	// knowledge of the rollback.
+	PiggyAntiEpoch uint64
+
+	// ---- GVT token body (valid for KindGVTToken/Broadcast/Control) ----
+	TokenRound  int32       // 0 = first cut round
+	TokenCount  int64       // accumulated white-message balance
+	TokenMin    vtime.VTime // accumulated min of LVTs and red sends
+	TokenGVT    vtime.VTime // final value (broadcast only)
+	TokenOrigin int32       // root LP of this computation
+	TokenEpoch  uint64      // id of the GVT computation (root-local counter)
+}
+
+// packetWireSize is the fixed encoded size in bytes of the header fields
+// above. Event payloads are modeled as part of Payload; the paper's models
+// exchange small fixed-size events, matching WARPED's Basic Event Message.
+const packetWireSize = 8 + 4 + 4 + // Seq, SrcNode, DstNode
+	1 + 4 + 4 + // Kind, Credits, CreditRepair
+	4 + 4 + 8 + 8 + 8 + 8 + // SrcObj..Payload
+	4 + // ColorEpoch
+	1 + 8 + 8 + 8 + 4 + // piggyback GVT
+	8 + // PiggyAntiEpoch
+	4 + 8 + 8 + 8 + 4 + 8 + // token body
+	1 // Sign byte (encoded from Kind redundancy; kept for firmware parity)
+
+// EncodedSize returns the on-wire size in bytes of the packet, used by the
+// hardware model to charge bus and link bandwidth.
+func (p *Packet) EncodedSize() int { return packetWireSize }
+
+// IsAnti reports whether the packet is an anti-message.
+func (p *Packet) IsAnti() bool { return p.Kind == KindAnti }
+
+// IsEventLike reports whether the packet carries a Time Warp event (positive
+// or anti) as opposed to control traffic.
+func (p *Packet) IsEventLike() bool { return p.Kind == KindEvent || p.Kind == KindAnti }
+
+// Sign returns the Time Warp sign of the packet (+1 positive event, -1
+// anti-message). Zero for non-event packets.
+func (p *Packet) Sign() int8 {
+	switch p.Kind {
+	case KindEvent:
+		return SignPositive
+	case KindAnti:
+		return SignNegative
+	}
+	return 0
+}
+
+// Clone returns a copy of the packet. Firmware that re-routes or mutates
+// packets clones first, mirroring the copy from host memory into NIC SRAM.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	return &q
+}
+
+// String renders a compact diagnostic form.
+func (p *Packet) String() string {
+	switch p.Kind {
+	case KindEvent, KindAnti:
+		return fmt.Sprintf("%s n%d->n%d obj%d->obj%d st=%v rt=%v id=%d",
+			p.Kind, p.SrcNode, p.DstNode, p.SrcObj, p.DstObj, p.SendTS, p.RecvTS, p.EventID)
+	case KindGVTToken:
+		return fmt.Sprintf("%s n%d->n%d round=%d count=%d min=%v epoch=%d",
+			p.Kind, p.SrcNode, p.DstNode, p.TokenRound, p.TokenCount, p.TokenMin, p.TokenEpoch)
+	case KindGVTBroadcast:
+		return fmt.Sprintf("%s n%d->n%d gvt=%v epoch=%d", p.Kind, p.SrcNode, p.DstNode, p.TokenGVT, p.TokenEpoch)
+	default:
+		return fmt.Sprintf("%s n%d->n%d", p.Kind, p.SrcNode, p.DstNode)
+	}
+}
+
+// Marshal encodes the packet into its fixed wire representation.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, 0, packetWireSize)
+	put64 := func(v uint64) { buf = binary.BigEndian.AppendUint64(buf, v) }
+	put32 := func(v uint32) { buf = binary.BigEndian.AppendUint32(buf, v) }
+	put8 := func(v uint8) { buf = append(buf, v) }
+
+	put64(p.Seq)
+	put32(uint32(p.SrcNode))
+	put32(uint32(p.DstNode))
+	put8(uint8(p.Kind))
+	put32(uint32(p.Credits))
+	put32(uint32(p.CreditRepair))
+	put32(uint32(p.SrcObj))
+	put32(uint32(p.DstObj))
+	put64(uint64(p.SendTS))
+	put64(uint64(p.RecvTS))
+	put64(p.EventID)
+	put64(p.Payload)
+	put32(p.ColorEpoch)
+	if p.PiggyGVTValid {
+		put8(1)
+	} else {
+		put8(0)
+	}
+	put64(uint64(p.PiggyT))
+	put64(uint64(p.PiggyTMin))
+	put64(uint64(p.PiggyV))
+	put32(uint32(p.PiggyRound))
+	put64(p.PiggyAntiEpoch)
+	put32(uint32(p.TokenRound))
+	put64(uint64(p.TokenCount))
+	put64(uint64(p.TokenMin))
+	put64(uint64(p.TokenGVT))
+	put32(uint32(p.TokenOrigin))
+	put64(p.TokenEpoch)
+	put8(uint8(p.Sign()))
+	return buf
+}
+
+// Unmarshal decodes a packet from its wire representation.
+func Unmarshal(data []byte) (*Packet, error) {
+	if len(data) != packetWireSize {
+		return nil, fmt.Errorf("proto: bad packet size %d, want %d", len(data), packetWireSize)
+	}
+	p := &Packet{}
+	off := 0
+	get64 := func() uint64 { v := binary.BigEndian.Uint64(data[off:]); off += 8; return v }
+	get32 := func() uint32 { v := binary.BigEndian.Uint32(data[off:]); off += 4; return v }
+	get8 := func() uint8 { v := data[off]; off++; return v }
+
+	p.Seq = get64()
+	p.SrcNode = int32(get32())
+	p.DstNode = int32(get32())
+	k := get8()
+	if k >= uint8(numKinds) {
+		return nil, fmt.Errorf("proto: bad packet kind %d", k)
+	}
+	p.Kind = Kind(k)
+	p.Credits = int32(get32())
+	p.CreditRepair = int32(get32())
+	p.SrcObj = int32(get32())
+	p.DstObj = int32(get32())
+	p.SendTS = vtime.VTime(get64())
+	p.RecvTS = vtime.VTime(get64())
+	p.EventID = get64()
+	p.Payload = get64()
+	p.ColorEpoch = get32()
+	p.PiggyGVTValid = get8() != 0
+	p.PiggyT = vtime.VTime(get64())
+	p.PiggyTMin = vtime.VTime(get64())
+	p.PiggyV = int64(get64())
+	p.PiggyRound = int32(get32())
+	p.PiggyAntiEpoch = get64()
+	p.TokenRound = int32(get32())
+	p.TokenCount = int64(get64())
+	p.TokenMin = vtime.VTime(get64())
+	p.TokenGVT = vtime.VTime(get64())
+	p.TokenOrigin = int32(get32())
+	p.TokenEpoch = get64()
+	sign := int8(get8())
+	if sign != p.Sign() {
+		return nil, fmt.Errorf("proto: sign byte %d inconsistent with kind %s", sign, p.Kind)
+	}
+	return p, nil
+}

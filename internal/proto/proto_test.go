@@ -1,0 +1,226 @@
+package proto
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nicwarp/internal/vtime"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		Seq:            42,
+		SrcNode:        1,
+		DstNode:        5,
+		Kind:           KindEvent,
+		Credits:        3,
+		CreditRepair:   1,
+		SrcObj:         10,
+		DstObj:         77,
+		SendTS:         100,
+		RecvTS:         150,
+		EventID:        987654321,
+		Payload:        0xDEADBEEF,
+		PiggyGVTValid:  true,
+		PiggyT:         99,
+		PiggyTMin:      vtime.Infinity,
+		PiggyV:         -4,
+		PiggyRound:     2,
+		PiggyAntiEpoch: 7,
+		TokenRound:     1,
+		TokenCount:     -12,
+		TokenMin:       88,
+		TokenGVT:       80,
+		TokenOrigin:    0,
+		TokenEpoch:     3,
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := samplePacket()
+	data := p.Marshal()
+	if len(data) != p.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(data), p.EncodedSize())
+	}
+	q, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", q, p)
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		p := samplePacket()
+		p.Kind = k
+		q, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("kind %v: %v", k, err)
+		}
+		if q.Kind != k {
+			t.Fatalf("kind %v round-tripped to %v", k, q.Kind)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadSize(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); err == nil {
+		t.Fatal("expected error for short packet")
+	}
+	if _, err := Unmarshal(make([]byte, packetWireSize+1)); err == nil {
+		t.Fatal("expected error for long packet")
+	}
+}
+
+func TestUnmarshalRejectsBadKind(t *testing.T) {
+	p := samplePacket()
+	data := p.Marshal()
+	data[16] = 200 // Kind offset: 8 (Seq) + 4 + 4 (nodes)
+	if _, err := Unmarshal(data); err == nil {
+		t.Fatal("expected error for invalid kind")
+	}
+}
+
+func TestUnmarshalRejectsInconsistentSign(t *testing.T) {
+	p := samplePacket()
+	data := p.Marshal()
+	data[len(data)-1] = 0xFF // corrupt trailing sign byte
+	if _, err := Unmarshal(data); err == nil {
+		t.Fatal("expected error for inconsistent sign byte")
+	}
+}
+
+func TestSign(t *testing.T) {
+	p := &Packet{Kind: KindEvent}
+	if p.Sign() != SignPositive {
+		t.Fatal("event sign")
+	}
+	p.Kind = KindAnti
+	if p.Sign() != SignNegative {
+		t.Fatal("anti sign")
+	}
+	p.Kind = KindGVTToken
+	if p.Sign() != 0 {
+		t.Fatal("control sign should be 0")
+	}
+}
+
+func TestIsEventLike(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		p := &Packet{Kind: k}
+		want := k == KindEvent || k == KindAnti
+		if p.IsEventLike() != want {
+			t.Fatalf("IsEventLike(%v) = %v", k, !want)
+		}
+	}
+	if !(&Packet{Kind: KindAnti}).IsAnti() {
+		t.Fatal("IsAnti")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := samplePacket()
+	q := p.Clone()
+	q.EventID = 1
+	if p.EventID == 1 {
+		t.Fatal("Clone did not copy")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindEvent:        "event",
+		KindAnti:         "anti",
+		KindGVTToken:     "gvt-token",
+		KindGVTBroadcast: "gvt-broadcast",
+		KindGVTControl:   "gvt-control",
+		KindCredit:       "credit",
+		Kind(99):         "kind(99)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// TestMarshalRoundTripProperty fuzzes field values through the encoding.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, src, dst int32, kindRaw uint8, sendTS, recvTS int64, id, payload uint64, v int64, epoch uint64) bool {
+		p := &Packet{
+			Seq:            seq,
+			SrcNode:        src,
+			DstNode:        dst,
+			Kind:           Kind(kindRaw % uint8(numKinds)),
+			SendTS:         vtime.VTime(sendTS),
+			RecvTS:         vtime.VTime(recvTS),
+			EventID:        id,
+			Payload:        payload,
+			PiggyV:         v,
+			PiggyAntiEpoch: epoch,
+		}
+		q, err := Unmarshal(p.Marshal())
+		return err == nil && reflect.DeepEqual(p, q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketStringForms(t *testing.T) {
+	// Smoke-test each branch of String.
+	forms := []*Packet{
+		{Kind: KindEvent}, {Kind: KindAnti}, {Kind: KindGVTToken},
+		{Kind: KindGVTBroadcast}, {Kind: KindCredit},
+	}
+	for _, p := range forms {
+		if p.String() == "" {
+			t.Fatalf("empty String() for kind %v", p.Kind)
+		}
+	}
+}
+
+// TestUnmarshalNeverPanics feeds arbitrary bytes of the right length into
+// Unmarshal: it must reject or accept, never panic.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		buf := make([]byte, packetWireSize)
+		copy(buf, data)
+		defer func() {
+			if recover() != nil {
+				t.Fatal("Unmarshal panicked")
+			}
+		}()
+		p, err := Unmarshal(buf)
+		if err == nil && p == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarshalUnmarshalIdempotent: decoding then re-encoding a valid packet
+// is the identity on bytes.
+func TestMarshalUnmarshalIdempotent(t *testing.T) {
+	p := samplePacket()
+	data := p.Marshal()
+	q, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2 := q.Marshal()
+	if len(data) != len(data2) {
+		t.Fatal("length changed")
+	}
+	for i := range data {
+		if data[i] != data2[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(12345)
+	b := New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestCopyCheckpoints(t *testing.T) {
+	// Copying a Source must checkpoint it — this is how Time Warp state
+	// saving preserves the random stream across rollbacks.
+	s := New(7)
+	for i := 0; i < 10; i++ {
+		s.Uint64()
+	}
+	saved := s // checkpoint by value copy
+	want := make([]uint64, 20)
+	for i := range want {
+		want[i] = s.Uint64()
+	}
+	restored := saved
+	for i := range want {
+		if got := restored.Uint64(); got != want[i] {
+			t.Fatalf("restored stream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	s := New(0)
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck stream")
+	}
+}
+
+func TestSeedDecorrelation(t *testing.T) {
+	// Adjacent seeds must not give obviously correlated first draws.
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical draws", same)
+	}
+}
+
+func TestNewForDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for comp := uint64(0); comp < 100; comp++ {
+		s := NewFor(42, comp)
+		v := s.Uint64()
+		if seen[v] {
+			t.Fatalf("component %d repeats an earlier first draw", comp)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(99)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		v := s.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	s := New(1)
+	s.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	// Crude mean test: the mean of many uniforms should be near 0.5.
+	s := New(8)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	const mean = 50.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~%v", got, mean)
+	}
+}
+
+func TestExpInt64AtLeastOne(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		if v := s.ExpInt64(0.001); v < 1 {
+			t.Fatalf("ExpInt64 returned %d < 1", v)
+		}
+	}
+}
+
+func TestUniformInt64Bounds(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 10000; i++ {
+		v := s.UniformInt64(-5, 5)
+		if v < -5 || v > 5 {
+			t.Fatalf("UniformInt64 out of bounds: %d", v)
+		}
+	}
+	if s.UniformInt64(7, 7) != 7 {
+		t.Fatal("degenerate range must return its endpoint")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(23)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate = %v", p)
+	}
+}
+
+func TestStateDigest(t *testing.T) {
+	s := New(31)
+	before := s.State()
+	s.Uint64()
+	if s.State() == before {
+		t.Fatal("state did not advance")
+	}
+}

@@ -1,0 +1,155 @@
+// Package simnet models the cluster interconnect: a Myrinet-like cut-through
+// switch with per-output-port serialization and point-to-point links.
+//
+// The model captures the properties the paper's optimizations interact with:
+//
+//   - finite link bandwidth (1.2 Gb/s in the paper's cluster), so messages
+//     queue behind each other and a backlog can form in the NIC send path;
+//   - per-path FIFO delivery, which BIP's sequence numbering and the
+//     early-cancellation correctness argument both rely on;
+//   - a fixed switch traversal latency.
+//
+// The fabric is reliable: it never drops or reorders packets. All loss in
+// the system is *deliberate* (early cancellation at the NIC).
+package simnet
+
+import (
+	"fmt"
+
+	"nicwarp/internal/des"
+	"nicwarp/internal/proto"
+	"nicwarp/internal/stats"
+	"nicwarp/internal/vtime"
+)
+
+// Config holds fabric timing parameters.
+type Config struct {
+	// LinkBandwidth is the per-link bandwidth in bytes per second.
+	LinkBandwidth float64
+	// LinkLatency is the one-way propagation delay of a link.
+	LinkLatency vtime.ModelTime
+	// SwitchLatency is the fixed routing/arbitration delay inside the
+	// switch, per packet.
+	SwitchLatency vtime.ModelTime
+}
+
+// DefaultConfig returns parameters calibrated to the paper's cluster: a
+// 1.2 Gb/s Myrinet switch with microsecond-scale latencies.
+func DefaultConfig() Config {
+	return Config{
+		LinkBandwidth: 150e6, // 1.2 Gb/s
+		LinkLatency:   500 * vtime.Nanosecond,
+		SwitchLatency: 300 * vtime.Nanosecond,
+	}
+}
+
+// Fabric is an N-port switch. Each port connects one NIC. Ports are
+// attached with a delivery callback invoked when a packet fully arrives at
+// the destination NIC.
+type Fabric struct {
+	eng   *des.Engine
+	cfg   Config
+	ports []port
+
+	// Metrics.
+	Forwarded  stats.Counter // packets forwarded (unicast count, broadcasts expanded)
+	Bytes      stats.Counter // bytes forwarded
+	Broadcasts stats.Counter // broadcast injections
+}
+
+type port struct {
+	deliver func(*proto.Packet)
+	out     *des.Resource // output-port serializer (switch -> NIC link)
+}
+
+// NewFabric creates a fabric with n ports.
+func NewFabric(eng *des.Engine, cfg Config, n int) *Fabric {
+	if n <= 0 {
+		panic("simnet: fabric needs at least one port")
+	}
+	if cfg.LinkBandwidth <= 0 {
+		panic("simnet: nonpositive link bandwidth")
+	}
+	f := &Fabric{eng: eng, cfg: cfg, ports: make([]port, n)}
+	for i := range f.ports {
+		f.ports[i].out = des.NewResource(eng, fmt.Sprintf("switch-port-%d", i))
+	}
+	return f
+}
+
+// NumPorts returns the number of ports.
+func (f *Fabric) NumPorts() int { return len(f.ports) }
+
+// LinkBandwidth returns the per-link bandwidth in bytes per second, shared
+// with the NICs that drive the links.
+func (f *Fabric) LinkBandwidth() float64 { return f.cfg.LinkBandwidth }
+
+// Attach registers the delivery callback for a port. Must be called for
+// every port before traffic flows.
+func (f *Fabric) Attach(portID int, deliver func(*proto.Packet)) {
+	if deliver == nil {
+		panic("simnet: nil deliver callback")
+	}
+	f.ports[portID].deliver = deliver
+}
+
+// Inject accepts a packet from the NIC at srcPort. The caller has already
+// paid the NIC-side serialization onto the wire; Inject models link
+// propagation to the switch, switch latency, output-port serialization and
+// propagation to the destination NIC.
+//
+// A packet with DstNode == -1 is a broadcast and is replicated to every
+// port except the source, the way the paper's NIC-GVT firmware broadcasts
+// the final GVT value.
+func (f *Fabric) Inject(srcPort int, pkt *proto.Packet) {
+	if pkt == nil {
+		panic("simnet: nil packet")
+	}
+	if srcPort < 0 || srcPort >= len(f.ports) {
+		panic(fmt.Sprintf("simnet: bad source port %d", srcPort))
+	}
+	if pkt.DstNode == -1 {
+		f.Broadcasts.Inc()
+		for i := range f.ports {
+			if i == srcPort {
+				continue
+			}
+			copyPkt := pkt.Clone()
+			copyPkt.DstNode = int32(i)
+			f.route(srcPort, i, copyPkt)
+		}
+		return
+	}
+	dst := int(pkt.DstNode)
+	if dst < 0 || dst >= len(f.ports) {
+		panic(fmt.Sprintf("simnet: bad destination node %d", dst))
+	}
+	f.route(srcPort, dst, pkt)
+}
+
+// route moves a packet from the switch input at srcPort to dstPort.
+func (f *Fabric) route(srcPort, dstPort int, pkt *proto.Packet) {
+	size := pkt.EncodedSize()
+	// Propagation from NIC to switch plus switch routing latency, then the
+	// packet competes for the destination output port.
+	f.eng.Schedule(f.cfg.LinkLatency+f.cfg.SwitchLatency, func() {
+		serialize := vtime.TransferTime(size, f.cfg.LinkBandwidth)
+		f.ports[dstPort].out.Submit(serialize, func() {
+			// Propagation from switch to the destination NIC.
+			f.eng.Schedule(f.cfg.LinkLatency, func() {
+				f.Forwarded.Inc()
+				f.Bytes.Add(int64(size))
+				d := f.ports[dstPort].deliver
+				if d == nil {
+					panic(fmt.Sprintf("simnet: port %d has no receiver", dstPort))
+				}
+				d(pkt)
+			})
+		})
+	})
+}
+
+// PortUtilization returns the output-port utilization of portID.
+func (f *Fabric) PortUtilization(portID int) float64 {
+	return f.ports[portID].out.Utilization()
+}

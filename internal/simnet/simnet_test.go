@@ -1,0 +1,193 @@
+package simnet
+
+import (
+	"testing"
+
+	"nicwarp/internal/des"
+	"nicwarp/internal/proto"
+	"nicwarp/internal/vtime"
+)
+
+func testConfig() Config {
+	return Config{
+		LinkBandwidth: 100e6,
+		LinkLatency:   100 * vtime.Nanosecond,
+		SwitchLatency: 50 * vtime.Nanosecond,
+	}
+}
+
+func pkt(src, dst int32) *proto.Packet {
+	return &proto.Packet{Kind: proto.KindEvent, SrcNode: src, DstNode: dst}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	e := des.NewEngine()
+	f := NewFabric(e, testConfig(), 4)
+	var got []*proto.Packet
+	var at vtime.ModelTime
+	for i := 0; i < 4; i++ {
+		i := i
+		f.Attach(i, func(p *proto.Packet) {
+			if i != int(p.DstNode) {
+				t.Errorf("packet for %d delivered to port %d", p.DstNode, i)
+			}
+			got = append(got, p)
+			at = e.Now()
+		})
+	}
+	p := pkt(0, 2)
+	f.Inject(0, p)
+	e.Run(vtime.ModelInfinity)
+	if len(got) != 1 || got[0] != p {
+		t.Fatalf("delivered %d packets", len(got))
+	}
+	// Latency = linkLatency + switchLatency + serialize + linkLatency.
+	serialize := vtime.TransferTime(p.EncodedSize(), 100e6)
+	want := 100 + 50 + serialize + 100
+	if at != want {
+		t.Fatalf("delivery at %v, want %v", at, want)
+	}
+	if f.Forwarded.Value() != 1 {
+		t.Fatalf("forwarded = %d", f.Forwarded.Value())
+	}
+	if f.Bytes.Value() != int64(p.EncodedSize()) {
+		t.Fatalf("bytes = %d", f.Bytes.Value())
+	}
+}
+
+func TestFIFOPerPath(t *testing.T) {
+	e := des.NewEngine()
+	f := NewFabric(e, testConfig(), 2)
+	var seqs []uint64
+	f.Attach(0, func(p *proto.Packet) {})
+	f.Attach(1, func(p *proto.Packet) { seqs = append(seqs, p.Seq) })
+	for i := 0; i < 20; i++ {
+		p := pkt(0, 1)
+		p.Seq = uint64(i)
+		f.Inject(0, p)
+	}
+	e.Run(vtime.ModelInfinity)
+	if len(seqs) != 20 {
+		t.Fatalf("delivered %d", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("reordered: %v", seqs)
+		}
+	}
+}
+
+func TestOutputPortContention(t *testing.T) {
+	// Two senders target the same port; deliveries must be serialized by
+	// the output port, so the last delivery is later than a single
+	// uncontended transfer.
+	e := des.NewEngine()
+	cfg := testConfig()
+	f := NewFabric(e, cfg, 3)
+	var times []vtime.ModelTime
+	for i := 0; i < 3; i++ {
+		f.Attach(i, func(p *proto.Packet) { times = append(times, e.Now()) })
+	}
+	f.Inject(0, pkt(0, 2))
+	f.Inject(1, pkt(1, 2))
+	e.Run(vtime.ModelInfinity)
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	serialize := vtime.TransferTime(pkt(0, 2).EncodedSize(), cfg.LinkBandwidth)
+	gap := times[1] - times[0]
+	if gap != serialize {
+		t.Fatalf("second delivery gap %v, want one serialization %v", gap, serialize)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	e := des.NewEngine()
+	f := NewFabric(e, testConfig(), 4)
+	got := map[int]int{}
+	for i := 0; i < 4; i++ {
+		i := i
+		f.Attach(i, func(p *proto.Packet) {
+			got[i]++
+			if int(p.DstNode) != i {
+				t.Errorf("broadcast copy at port %d has DstNode %d", i, p.DstNode)
+			}
+		})
+	}
+	b := pkt(1, -1)
+	b.Kind = proto.KindGVTBroadcast
+	f.Inject(1, b)
+	e.Run(vtime.ModelInfinity)
+	if got[1] != 0 {
+		t.Fatal("broadcast echoed to source")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if got[i] != 1 {
+			t.Fatalf("port %d got %d copies", i, got[i])
+		}
+	}
+	if f.Broadcasts.Value() != 1 {
+		t.Fatalf("broadcasts = %d", f.Broadcasts.Value())
+	}
+}
+
+func TestPanicsOnBadPort(t *testing.T) {
+	e := des.NewEngine()
+	f := NewFabric(e, testConfig(), 2)
+	f.Attach(0, func(*proto.Packet) {})
+	f.Attach(1, func(*proto.Packet) {})
+	for _, c := range []func(){
+		func() { f.Inject(5, pkt(0, 1)) },
+		func() { f.Inject(0, pkt(0, 9)) },
+		func() { f.Inject(0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			c()
+		}()
+	}
+}
+
+func TestUnattachedPortPanics(t *testing.T) {
+	e := des.NewEngine()
+	f := NewFabric(e, testConfig(), 2)
+	f.Attach(0, func(*proto.Packet) {})
+	f.Inject(0, pkt(0, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unattached receiver")
+		}
+	}()
+	e.Run(vtime.ModelInfinity)
+}
+
+func TestPortUtilizationGrows(t *testing.T) {
+	e := des.NewEngine()
+	f := NewFabric(e, testConfig(), 2)
+	f.Attach(0, func(*proto.Packet) {})
+	f.Attach(1, func(*proto.Packet) {})
+	for i := 0; i < 50; i++ {
+		f.Inject(0, pkt(0, 1))
+	}
+	e.Run(vtime.ModelInfinity)
+	if f.PortUtilization(1) <= 0 {
+		t.Fatal("port 1 utilization should be positive")
+	}
+	if f.PortUtilization(0) != 0 {
+		t.Fatal("port 0 carried no traffic")
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.LinkBandwidth != 150e6 {
+		t.Fatalf("default bandwidth %v, want 1.2Gb/s", cfg.LinkBandwidth)
+	}
+	if cfg.LinkLatency <= 0 || cfg.SwitchLatency <= 0 {
+		t.Fatal("default latencies must be positive")
+	}
+}

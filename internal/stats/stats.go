@@ -1,0 +1,232 @@
+// Package stats collects the metrics every experiment reports: message
+// counts, rollback counts, GVT rounds, resource utilization and the modeled
+// execution time that reproduces the paper's y-axes.
+//
+// The simulator is single-goroutine and deterministic, so the metric types
+// are deliberately unsynchronized; they are plain accumulators with
+// formatting helpers.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nicwarp/internal/vtime"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta (which may not be negative) to the counter.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("stats: Counter.Add with negative delta")
+	}
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Gauge is a signed instantaneous value with high-water tracking.
+type Gauge struct {
+	v   int64
+	max int64
+}
+
+// Set assigns the gauge.
+func (g *Gauge) Set(v int64) {
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.Set(g.v + delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Max returns the largest value the gauge has held.
+func (g *Gauge) Max() int64 { return g.max }
+
+// Mean is a running arithmetic mean of observed samples.
+type Mean struct {
+	sum float64
+	n   int64
+}
+
+// Observe records one sample.
+func (m *Mean) Observe(v float64) {
+	m.sum += v
+	m.n++
+}
+
+// Count returns the number of samples.
+func (m *Mean) Count() int64 { return m.n }
+
+// Value returns the mean, or 0 with no samples.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// BusyTime integrates the busy time of a hardware resource so that
+// experiments can report utilization. The caller marks busy intervals; the
+// accumulator tolerates back-to-back intervals.
+type BusyTime struct {
+	total vtime.ModelTime
+}
+
+// AddInterval accrues a busy interval of the given length.
+func (b *BusyTime) AddInterval(d vtime.ModelTime) {
+	if d < 0 {
+		panic("stats: negative busy interval")
+	}
+	b.total += d
+}
+
+// Total returns the accumulated busy time.
+func (b *BusyTime) Total() vtime.ModelTime { return b.total }
+
+// Utilization returns busy/elapsed in [0,1]; 0 when elapsed is zero.
+func (b *BusyTime) Utilization(elapsed vtime.ModelTime) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(b.total) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Histogram is a fixed-bucket histogram for latency-style observations.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; final bucket is +inf
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. An implicit overflow bucket is appended.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Bucket returns the count in bucket i (the bucket after the last bound is
+// the overflow bucket).
+func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+
+// NumBuckets returns the number of buckets including overflow.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Table renders aligned experiment output, mirroring the row/series layout
+// of the paper's figures so results can be compared by eye.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.header, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

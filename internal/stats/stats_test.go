@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nicwarp/internal/vtime"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative Add")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	var g Gauge
+	g.Set(3)
+	g.Add(4) // 7
+	g.Add(-5)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Value())
+	}
+	if g.Max() != 7 {
+		t.Fatalf("gauge max = %d, want 7", g.Max())
+	}
+}
+
+func TestGaugeMaxNeverBelowValue(t *testing.T) {
+	f := func(vals []int8) bool {
+		var g Gauge
+		for _, v := range vals {
+			g.Add(int64(v))
+			if g.Max() < g.Value() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	m.Observe(2)
+	m.Observe(4)
+	if m.Value() != 3 || m.Count() != 2 {
+		t.Fatalf("mean = %v count = %d", m.Value(), m.Count())
+	}
+}
+
+func TestBusyTimeUtilization(t *testing.T) {
+	var b BusyTime
+	b.AddInterval(250 * vtime.Microsecond)
+	b.AddInterval(250 * vtime.Microsecond)
+	u := b.Utilization(vtime.Millisecond)
+	if u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if b.Utilization(0) != 0 {
+		t.Fatal("utilization with zero elapsed should be 0")
+	}
+	// Utilization is clamped to 1 even if accounting overlaps.
+	b.AddInterval(vtime.Second)
+	if b.Utilization(vtime.Millisecond) != 1 {
+		t.Fatal("utilization must clamp to 1")
+	}
+}
+
+func TestBusyTimeRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative interval")
+		}
+	}()
+	var b BusyTime
+	b.AddInterval(-1)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []float64{1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if h.Bucket(i) != w {
+			t.Fatalf("bucket %d = %d, want %d", i, h.Bucket(i), w)
+		}
+	}
+	if h.NumBuckets() != 4 {
+		t.Fatalf("buckets = %d, want 4", h.NumBuckets())
+	}
+	if got := h.Mean(); got != (1+5+50+500+5000)/5.0 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramBoundaryGoesUp(t *testing.T) {
+	// A sample exactly on a bound lands in the bucket whose upper bound it
+	// is (SearchFloat64s returns the first index with bounds[i] >= v).
+	h := NewHistogram(10, 20)
+	h.Observe(10)
+	if h.Bucket(0) != 1 {
+		t.Fatalf("bucket 0 = %d, want 1", h.Bucket(0))
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted bounds")
+		}
+	}()
+	NewHistogram(10, 5)
+}
+
+func TestHistogramCountConservation(t *testing.T) {
+	f := func(samples []float64) bool {
+		h := NewHistogram(0.25, 0.5, 0.75)
+		for _, s := range samples {
+			h.Observe(s)
+		}
+		var sum int64
+		for i := 0; i < h.NumBuckets(); i++ {
+			sum += h.Bucket(i)
+		}
+		return sum == int64(len(samples)) && h.Count() == int64(len(samples))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("period", "warped_sec", "nicgvt_sec")
+	tb.AddRow(1, 35.5, 12.25)
+	tb.AddRow(100000, 11.0, 11.5)
+	out := tb.String()
+	if !strings.Contains(out, "period") || !strings.Contains(out, "100000") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "period,warped_sec,nicgvt_sec\n") {
+		t.Fatalf("bad CSV header:\n%s", csv)
+	}
+	if !strings.Contains(csv, "1,35.5,12.25") {
+		t.Fatalf("bad CSV rows:\n%s", csv)
+	}
+}

@@ -1,0 +1,128 @@
+package timewarp
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"nicwarp/internal/vtime"
+)
+
+func TestMakeEventID(t *testing.T) {
+	a := MakeEventID(1, 0)
+	b := MakeEventID(1, 1)
+	c := MakeEventID(2, 0)
+	if a == b || a == c || b == c {
+		t.Fatal("IDs must be distinct across src and seq")
+	}
+	if MakeEventID(1, 5) != MakeEventID(1, 5) {
+		t.Fatal("IDs must be deterministic")
+	}
+}
+
+func TestAnti(t *testing.T) {
+	e := &Event{ID: 9, Src: 1, Dst: 2, SendTS: 3, RecvTS: 7, Sign: 1, Payload: 11}
+	a := e.Anti()
+	if a.Sign != -1 {
+		t.Fatal("anti sign")
+	}
+	if !sameIdentity(e, a) {
+		t.Fatal("anti must share full identity with its positive")
+	}
+	if e.Sign != 1 {
+		t.Fatal("Anti must not mutate the original")
+	}
+}
+
+func TestAntiOfAntiPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Event{Sign: -1}).Anti()
+}
+
+func TestCompareOrder(t *testing.T) {
+	// Events in strictly increasing order under the comparator.
+	ordered := []*Event{
+		{RecvTS: 1, Dst: 5, SendTS: 9, Src: 9, ID: 9},
+		{RecvTS: 2, Dst: 0, SendTS: 0, Src: 0, ID: 0},
+		{RecvTS: 2, Dst: 1, SendTS: 0, Src: 0, ID: 0},
+		{RecvTS: 2, Dst: 1, SendTS: 1, Src: 0, ID: 0},
+		{RecvTS: 2, Dst: 1, SendTS: 1, Src: 2, ID: 0},
+		{RecvTS: 2, Dst: 1, SendTS: 1, Src: 2, ID: 3},
+	}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("Compare(%d,%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	f := func(r1, r2 int8, d1, d2 int8, s1, s2 uint8, id1, id2 uint8) bool {
+		a := &Event{RecvTS: vtime.VTime(r1), Dst: ObjectID(d1), Src: ObjectID(s1), ID: uint64(id1)}
+		b := &Event{RecvTS: vtime.VTime(r2), Dst: ObjectID(d2), Src: ObjectID(s2), ID: uint64(id2)}
+		ab, ba := a.Compare(b), b.Compare(a)
+		if ab != -ba {
+			return false // antisymmetry
+		}
+		if ab == 0 {
+			// Equal keys: all compared fields match.
+			return a.RecvTS == b.RecvTS && a.Dst == b.Dst && a.Src == b.Src && a.ID == b.ID
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventHeapOrdering(t *testing.T) {
+	events := []*Event{
+		{RecvTS: 30, ID: 1}, {RecvTS: 10, ID: 2}, {RecvTS: 20, ID: 3},
+		{RecvTS: 10, ID: 1}, {RecvTS: 5, ID: 9},
+	}
+	var h eventHeap
+	for _, e := range events {
+		h = append(h, e)
+	}
+	sort.Slice(h, func(i, j int) bool { return h[i].Before(h[j]) })
+	for i := 1; i < len(h); i++ {
+		if h[i].Before(h[i-1]) {
+			t.Fatal("sort by Before not consistent")
+		}
+	}
+	if h[0].RecvTS != 5 {
+		t.Fatalf("min = %v", h[0])
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := &Event{ID: 1, Src: 2, Dst: 3, SendTS: 4, RecvTS: 5, Sign: 1}
+	if e.String() == "" || e.Anti().String() == "" {
+		t.Fatal("empty String")
+	}
+	if e.String() == e.Anti().String() {
+		t.Fatal("positive and anti should render differently")
+	}
+}
+
+func TestDigestMixSensitivity(t *testing.T) {
+	if DigestMix(1, 2) == DigestMix(1, 3) {
+		t.Fatal("digest must depend on value")
+	}
+	if DigestMix(1, 2) == DigestMix(2, 2) {
+		t.Fatal("digest must depend on accumulator")
+	}
+}

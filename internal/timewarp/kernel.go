@@ -1,0 +1,677 @@
+package timewarp
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"nicwarp/internal/stats"
+	"nicwarp/internal/vtime"
+)
+
+// CancellationPolicy selects how rollbacks cancel erroneously sent messages.
+type CancellationPolicy int
+
+// Cancellation policies.
+const (
+	// Aggressive sends anti-messages for every cancelled output the moment
+	// a rollback happens — the policy the paper uses ("we use aggressive
+	// cancellation [27] where erroneous messages are instantly canceled").
+	// Early cancellation on the NIC requires this policy; its correctness
+	// argument depends on the host emitting the anti-message promptly.
+	Aggressive CancellationPolicy = iota
+	// Lazy defers cancellation: cancelled outputs are kept and compared
+	// against the sends of re-execution; only outputs that re-execution
+	// does not regenerate are cancelled — and the deciding comparison is
+	// synchronized with GVT advancement (see lazyFlush). Provided as the
+	// ablation baseline from Rajan & Wilsey's lazy/aggressive comparison
+	// the paper cites.
+	Lazy
+)
+
+// String implements fmt.Stringer.
+func (p CancellationPolicy) String() string {
+	if p == Lazy {
+		return "lazy"
+	}
+	return "aggressive"
+}
+
+// Config parameterizes a Kernel (one LP).
+type Config struct {
+	// LP is this kernel's logical-process id (its node in the cluster).
+	LP int
+	// Cancellation selects aggressive or lazy cancellation.
+	Cancellation CancellationPolicy
+	// TolerateOrphanAntis discards (and counts) unmatched anti-messages
+	// that fall below GVT instead of treating them as fatal. An orphan
+	// anti is the signature of a drop-buffer eviction under NIC early
+	// cancellation: the positive was cancelled in place but its
+	// anti-message escaped filtering. With early cancellation off it can
+	// only mean a kernel bug, so it stays fatal.
+	TolerateOrphanAntis bool
+}
+
+// Stats aggregates kernel counters for one LP.
+type Stats struct {
+	Processed     stats.Counter // event executions, including later-undone ones
+	RolledBack    stats.Counter // event executions undone by rollbacks
+	Rollbacks     stats.Counter // rollback episodes
+	RollbackDepth stats.Mean    // events undone per rollback
+	Stragglers    stats.Counter // positive events arriving in the processed past
+	PositivesSent stats.Counter // positive events emitted (local + remote)
+	AntisSent     stats.Counter // anti-messages emitted (local + remote)
+	AntisReceived stats.Counter
+	Annihilations stats.Counter // positive/anti pairs destroyed
+	Zombies       stats.Counter // antis stored awaiting their positive
+	OrphanAntis   stats.Counter // zombies discarded below GVT (drop-buffer evictions)
+	StateSaves    stats.Counter
+	FossilEvents  stats.Counter // history entries reclaimed
+	LazyHits      stats.Counter // re-sends matched under lazy cancellation
+	LazyAntis     stats.Counter // lazy entries eventually cancelled
+}
+
+// snapshot is one state-saving record: the application state plus the
+// kernel-managed per-object state (the send sequence counter, which must
+// roll back so re-execution regenerates identical event IDs).
+type snapshot struct {
+	app     interface{}
+	sendSeq uint64
+}
+
+// objRuntime carries the kernel bookkeeping for one local object.
+type objRuntime struct {
+	id  ObjectID
+	obj Object
+
+	pending   eventHeap // unprocessed input events
+	processed []*Event  // executed events, in execution (total) order
+	states    []snapshot
+	outputs   [][]*Event // outputs[i]: positives sent while executing processed[i]
+	sendSeq   uint64
+
+	lazyPending []*Event // cancelled outputs awaiting re-send match (lazy mode)
+	zombies     []*Event // unmatched anti-messages
+	fossilCount int      // history entries already reclaimed
+
+	heapIdx int // position in the kernel scheduler heap
+}
+
+// head returns the object's lowest unprocessed event, or nil.
+func (o *objRuntime) head() *Event {
+	if len(o.pending) == 0 {
+		return nil
+	}
+	return o.pending[0]
+}
+
+// clock returns the object's local virtual time: the receive timestamp of
+// its last executed event, or zero before any execution.
+func (o *objRuntime) clock() vtime.VTime {
+	if len(o.processed) == 0 {
+		return 0
+	}
+	return o.processed[len(o.processed)-1].RecvTS
+}
+
+// schedHeap orders objects by their head pending event; objects with no
+// pending events sort last.
+type schedHeap []*objRuntime
+
+func (h schedHeap) Len() int { return len(h) }
+func (h schedHeap) Less(i, j int) bool {
+	a, b := h[i].head(), h[j].head()
+	switch {
+	case a == nil:
+		return false
+	case b == nil:
+		return true
+	default:
+		return a.Before(b)
+	}
+}
+func (h schedHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *schedHeap) Push(x interface{}) {
+	o := x.(*objRuntime)
+	o.heapIdx = len(*h)
+	*h = append(*h, o)
+}
+func (h *schedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	o := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return o
+}
+
+// StepResult reports what a kernel operation did, in counts the cluster
+// layer converts into host CPU costs, plus the remote messages to ship.
+type StepResult struct {
+	// Executed is the number of events executed (0 or 1; local cascades do
+	// not execute events, they only enqueue).
+	Executed int
+	// Remote holds events (positive and anti) destined for other LPs, in
+	// emission order.
+	Remote []*Event
+	// Rollbacks is the number of rollback episodes triggered.
+	Rollbacks int
+	// UndoneEvents is the number of executed events undone.
+	UndoneEvents int
+	// AntisEmitted counts anti-messages emitted (local and remote).
+	AntisEmitted int
+	// LocalDeliveries counts events delivered object-to-object within the
+	// LP.
+	LocalDeliveries int
+	// Annihilated reports that a delivered message annihilated against its
+	// counterpart (or a zombie).
+	Annihilated bool
+}
+
+// Kernel is one LP: a set of simulation objects executing optimistically.
+type Kernel struct {
+	cfg   Config
+	objs  map[ObjectID]*objRuntime
+	order []*objRuntime
+	sched schedHeap
+
+	// Per-call scratch, reset by each public entry point.
+	res    *StepResult
+	localQ []*Event
+
+	booted bool
+	// histCount is the total number of retained processed events across all
+	// objects (uncollected history). The hardware model charges a memory
+	// penalty that grows with it — the mechanism behind the paper's
+	// observation that execution time rises when GVT (and thus fossil
+	// collection) runs infrequently.
+	histCount int
+	// committedGVT is the highest GVT installed by FossilCollect. Any
+	// message arriving below it indicates an unsafe GVT estimate — the
+	// exact failure mode a broken GVT algorithm produces — so the kernel
+	// treats it as a fatal invariant violation rather than corrupting
+	// results silently.
+	committedGVT vtime.VTime
+
+	Stats Stats
+}
+
+// NewKernel creates an empty LP kernel.
+func NewKernel(cfg Config) *Kernel {
+	return &Kernel{
+		cfg:  cfg,
+		objs: make(map[ObjectID]*objRuntime),
+	}
+}
+
+// LP returns the kernel's logical-process id.
+func (k *Kernel) LP() int { return k.cfg.LP }
+
+// AddObject registers a local object. Must be called before Bootstrap.
+func (k *Kernel) AddObject(id ObjectID, obj Object) {
+	if k.booted {
+		panic("timewarp: AddObject after Bootstrap")
+	}
+	if obj == nil {
+		panic("timewarp: AddObject with nil object")
+	}
+	if _, dup := k.objs[id]; dup {
+		panic(fmt.Sprintf("timewarp: duplicate object %d", id))
+	}
+	o := &objRuntime{id: id, obj: obj}
+	k.objs[id] = o
+	k.order = append(k.order, o)
+	heap.Push(&k.sched, o)
+}
+
+// Objects returns the local object IDs in registration order.
+func (k *Kernel) Objects() []ObjectID {
+	ids := make([]ObjectID, len(k.order))
+	for i, o := range k.order {
+		ids[i] = o.id
+	}
+	return ids
+}
+
+// IsLocal reports whether the object lives on this LP.
+func (k *Kernel) IsLocal(id ObjectID) bool {
+	_, ok := k.objs[id]
+	return ok
+}
+
+// begin resets per-call scratch and returns the result accumulator.
+func (k *Kernel) begin() *StepResult {
+	k.res = &StepResult{}
+	return k.res
+}
+
+// Bootstrap runs Init on every object in registration order and returns the
+// initial remote sends. Initial sends are unconditional: they are not
+// recorded in any output row and can never be cancelled.
+func (k *Kernel) Bootstrap() StepResult {
+	if k.booted {
+		panic("timewarp: double Bootstrap")
+	}
+	k.booted = true
+	res := k.begin()
+	for _, o := range k.order {
+		ctx := &Context{k: k, st: o, now: 0, inInit: true}
+		o.obj.Init(ctx)
+	}
+	k.drainLocal()
+	return *res
+}
+
+// HasWork reports whether any object has an unprocessed event.
+func (k *Kernel) HasWork() bool {
+	return len(k.sched) > 0 && k.sched[0].head() != nil
+}
+
+// NextTS returns the timestamp of the lowest unprocessed event on this LP,
+// or Infinity if the LP is idle. This is the LP's LVT contribution for GVT
+// in aggressive mode.
+func (k *Kernel) NextTS() vtime.VTime {
+	if !k.HasWork() {
+		return vtime.Infinity
+	}
+	return k.sched[0].head().RecvTS
+}
+
+// LVT returns the LP's lower bound on future message timestamps: the lowest
+// unprocessed event, further lowered by any lazy-cancellation entries whose
+// anti-messages are still unsent. GVT computed from this value is safe under
+// both cancellation policies.
+func (k *Kernel) LVT() vtime.VTime {
+	lvt := k.NextTS()
+	if k.cfg.Cancellation == Lazy {
+		for _, o := range k.order {
+			for _, e := range o.lazyPending {
+				lvt = vtime.MinV(lvt, e.RecvTS)
+			}
+		}
+	}
+	return lvt
+}
+
+// Quiescent reports whether the LP has no pending events, no deferred lazy
+// cancellations and no unmatched anti-messages.
+func (k *Kernel) Quiescent() bool {
+	for _, o := range k.order {
+		if len(o.pending) > 0 || len(o.lazyPending) > 0 || len(o.zombies) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ProcessOne executes the lowest-timestamp unprocessed event on the LP
+// (WARPED's lowest-timestamp-first scheduling). Panics if the LP is idle;
+// callers gate on HasWork.
+func (k *Kernel) ProcessOne() StepResult {
+	if !k.HasWork() {
+		panic("timewarp: ProcessOne on idle LP")
+	}
+	res := k.begin()
+	o := k.sched[0]
+	ev := heap.Pop(&o.pending).(*Event)
+	k.fixSched(o)
+
+	// State saving (period 1, the WARPED default).
+	o.states = append(o.states, snapshot{app: o.obj.SaveState(), sendSeq: o.sendSeq})
+	o.processed = append(o.processed, ev)
+	o.outputs = append(o.outputs, nil)
+	k.histCount++
+	k.Stats.StateSaves.Inc()
+	k.Stats.Processed.Inc()
+	res.Executed = 1
+
+	ctx := &Context{k: k, st: o, now: ev.RecvTS, current: ev}
+	o.obj.Execute(ctx, ev)
+	k.drainLocal()
+	// Lazy cancellation: entries whose send time the object's clock has
+	// passed were definitively not regenerated by re-execution; cancel
+	// them now. (FossilCollect performs the same flush against GVT for
+	// objects that have gone idle.)
+	if k.cfg.Cancellation == Lazy {
+		k.lazyFlush(o, o.clock())
+		k.drainLocal()
+	}
+	return *res
+}
+
+// Deliver accepts a message from another LP (or, during tests, any
+// externally produced event) and fully integrates it: annihilation,
+// straggler rollback, enqueueing, and any local cancellation cascade.
+func (k *Kernel) Deliver(ev *Event) StepResult {
+	res := k.begin()
+	k.deliverOne(ev)
+	k.drainLocal()
+	return *res
+}
+
+// HistoryEvents returns the number of processed events whose state and
+// output history is still retained (not yet fossil-collected).
+func (k *Kernel) HistoryEvents() int { return k.histCount }
+
+// CommittedGVT returns the highest GVT installed so far.
+func (k *Kernel) CommittedGVT() vtime.VTime { return k.committedGVT }
+
+// FossilCollect releases history strictly below gvt and flushes lazy
+// cancellations that can no longer be matched. It returns the (possibly
+// nonempty, under lazy cancellation) step result.
+func (k *Kernel) FossilCollect(gvt vtime.VTime) StepResult {
+	if gvt < k.committedGVT {
+		panic(fmt.Sprintf("timewarp: GVT moved backwards: %v after %v", gvt, k.committedGVT))
+	}
+	k.committedGVT = gvt
+	res := k.begin()
+	for _, o := range k.order {
+		// First history index that must be retained.
+		q := sort.Search(len(o.processed), func(i int) bool {
+			return o.processed[i].RecvTS >= gvt
+		})
+		if q > 0 {
+			k.Stats.FossilEvents.Add(int64(q))
+			o.fossilCount += q
+			k.histCount -= q
+			o.processed = append([]*Event(nil), o.processed[q:]...)
+			o.states = append([]snapshot(nil), o.states[q:]...)
+			o.outputs = append([][]*Event(nil), o.outputs[q:]...)
+		}
+		if k.cfg.Cancellation == Lazy {
+			k.lazyFlush(o, gvt)
+		}
+		// A zombie below GVT means its positive can never arrive. Under
+		// NIC early cancellation this is the drop-buffer-eviction hazard
+		// (tolerated and counted); otherwise it is a kernel bug.
+		kept := o.zombies[:0]
+		for _, z := range o.zombies {
+			if z.RecvTS < gvt {
+				if !k.cfg.TolerateOrphanAntis {
+					panic(fmt.Sprintf("timewarp: zombie anti below GVT: %v (gvt=%v)", z, gvt))
+				}
+				k.Stats.OrphanAntis.Inc()
+				continue
+			}
+			kept = append(kept, z)
+		}
+		for i := len(kept); i < len(o.zombies); i++ {
+			o.zombies[i] = nil
+		}
+		o.zombies = kept
+	}
+	k.drainLocal()
+	return *res
+}
+
+// ObjectDigest returns the current state digest of one local object.
+func (k *Kernel) ObjectDigest(id ObjectID) uint64 {
+	o, ok := k.objs[id]
+	if !ok {
+		panic(fmt.Sprintf("timewarp: ObjectDigest of non-local object %d", id))
+	}
+	return o.obj.Digest()
+}
+
+// CommittedDigest folds every object's current state into one hash. Only
+// meaningful when the simulation has quiesced (all events committed).
+func (k *Kernel) CommittedDigest() uint64 {
+	h := uint64(0x243F6A8885A308D3)
+	for _, o := range k.order {
+		h = DigestMix(h, uint64(uint32(o.id)))
+		h = DigestMix(h, o.obj.Digest())
+	}
+	return h
+}
+
+// ProcessedCounts returns the per-object count of surviving (not undone)
+// event executions, including already-fossilled history. At quiescence this
+// equals the committed event count, the quantity compared with the
+// sequential oracle.
+func (k *Kernel) ProcessedCounts() map[ObjectID]int {
+	m := make(map[ObjectID]int, len(k.order))
+	for _, o := range k.order {
+		m[o.id] = len(o.processed) + o.fossilCount
+	}
+	return m
+}
+
+// CommittedEvents returns the total surviving event executions across all
+// local objects.
+func (k *Kernel) CommittedEvents() int {
+	n := 0
+	for _, o := range k.order {
+		n += len(o.processed) + o.fossilCount
+	}
+	return n
+}
+
+// send implements Context.Send.
+func (k *Kernel) send(c *Context, dst ObjectID, delay vtime.VTime, payload uint64) {
+	o := c.st
+	ev := &Event{
+		ID:      MakeEventID(o.id, o.sendSeq),
+		Src:     o.id,
+		Dst:     dst,
+		SendTS:  c.now,
+		RecvTS:  c.now + delay,
+		Sign:    1,
+		Payload: payload,
+	}
+	o.sendSeq++
+
+	if !c.inInit {
+		// Lazy cancellation: a regenerated send identical to a cancelled
+		// one means the original message is still correct; keep it and do
+		// not re-send.
+		if k.cfg.Cancellation == Lazy {
+			if k.lazyMatch(o, ev) {
+				row := len(o.outputs) - 1
+				o.outputs[row] = append(o.outputs[row], ev)
+				k.Stats.LazyHits.Inc()
+				return
+			}
+		}
+		row := len(o.outputs) - 1
+		o.outputs[row] = append(o.outputs[row], ev)
+	}
+	k.route(ev)
+	k.Stats.PositivesSent.Inc()
+}
+
+// route sends an event toward its destination: the local delivery queue or
+// the remote outbox.
+func (k *Kernel) route(ev *Event) {
+	if ev.Sign < 0 {
+		k.Stats.AntisSent.Inc()
+		k.res.AntisEmitted++
+	}
+	if k.IsLocal(ev.Dst) {
+		k.localQ = append(k.localQ, ev)
+		k.res.LocalDeliveries++
+	} else {
+		k.res.Remote = append(k.res.Remote, ev)
+	}
+}
+
+// drainLocal delivers queued intra-LP events until none remain. Deliveries
+// can trigger rollbacks that enqueue further local antis, hence the loop.
+func (k *Kernel) drainLocal() {
+	for len(k.localQ) > 0 {
+		ev := k.localQ[0]
+		k.localQ = k.localQ[1:]
+		k.deliverOne(ev)
+	}
+}
+
+// sameIdentity reports whether a positive and an anti refer to the same
+// message instance.
+func sameIdentity(a, b *Event) bool {
+	return a.ID == b.ID && a.Src == b.Src && a.Dst == b.Dst &&
+		a.SendTS == b.SendTS && a.RecvTS == b.RecvTS && a.Payload == b.Payload
+}
+
+// deliverOne integrates one inbound event (positive or anti) into its
+// destination object.
+func (k *Kernel) deliverOne(ev *Event) {
+	o, ok := k.objs[ev.Dst]
+	if !ok {
+		panic(fmt.Sprintf("timewarp: Deliver for non-local object %d", ev.Dst))
+	}
+	if ev.Sign > 0 {
+		k.deliverPositive(o, ev)
+	} else {
+		k.deliverAnti(o, ev)
+	}
+}
+
+// deliverPositive handles an inbound positive event: zombie annihilation,
+// straggler rollback, then enqueue.
+func (k *Kernel) deliverPositive(o *objRuntime, ev *Event) {
+	if ev.RecvTS < k.committedGVT {
+		panic(fmt.Sprintf("timewarp: positive event below committed GVT %v: %v", k.committedGVT, ev))
+	}
+	// An anti-message that arrived first (possible only when the positive
+	// was delayed past it, or when early cancellation misfired) annihilates
+	// the positive on sight.
+	for i, z := range o.zombies {
+		if sameIdentity(ev, z) {
+			o.zombies = append(o.zombies[:i:i], o.zombies[i+1:]...)
+			k.Stats.Annihilations.Inc()
+			k.res.Annihilated = true
+			return
+		}
+	}
+	// Straggler: the event sorts before something already executed.
+	if n := len(o.processed); n > 0 && ev.Before(o.processed[n-1]) {
+		k.Stats.Stragglers.Inc()
+		p := sort.Search(len(o.processed), func(i int) bool {
+			return ev.Before(o.processed[i])
+		})
+		k.rollback(o, p)
+	}
+	heap.Push(&o.pending, ev)
+	k.fixSched(o)
+}
+
+// deliverAnti handles an inbound anti-message: annihilate an unprocessed
+// positive, or roll back and annihilate a processed one, or store a zombie.
+func (k *Kernel) deliverAnti(o *objRuntime, ev *Event) {
+	if ev.RecvTS < k.committedGVT {
+		panic(fmt.Sprintf("timewarp: anti-message below committed GVT %v: %v", k.committedGVT, ev))
+	}
+	k.Stats.AntisReceived.Inc()
+	// Unprocessed positive: remove silently.
+	for i, p := range o.pending {
+		if p.Sign > 0 && sameIdentity(p, ev) {
+			heap.Remove(&o.pending, i)
+			k.fixSched(o)
+			k.Stats.Annihilations.Inc()
+			k.res.Annihilated = true
+			return
+		}
+	}
+	// Processed positive: roll back to just before it, which reinserts it
+	// into pending; then remove it.
+	for i, p := range o.processed {
+		if sameIdentity(p, ev) {
+			k.rollback(o, i)
+			for j, q := range o.pending {
+				if q.Sign > 0 && sameIdentity(q, ev) {
+					heap.Remove(&o.pending, j)
+					break
+				}
+			}
+			k.fixSched(o)
+			k.Stats.Annihilations.Inc()
+			k.res.Annihilated = true
+			return
+		}
+	}
+	// No positive yet: store the zombie.
+	o.zombies = append(o.zombies, ev)
+	k.Stats.Zombies.Inc()
+}
+
+// rollback undoes o's execution history from position p onward: restores
+// the saved state, reinserts the undone events as pending, and cancels the
+// outputs of the undone executions per the cancellation policy.
+func (k *Kernel) rollback(o *objRuntime, p int) {
+	n := len(o.processed)
+	if p >= n {
+		return // nothing executed after the straggler point
+	}
+	k.Stats.Rollbacks.Inc()
+	k.res.Rollbacks++
+	undone := n - p
+	k.Stats.RolledBack.Add(int64(undone))
+	k.Stats.RollbackDepth.Observe(float64(undone))
+	k.res.UndoneEvents += undone
+
+	o.obj.RestoreState(o.states[p].app)
+	o.sendSeq = o.states[p].sendSeq
+	k.histCount -= undone
+
+	for i := n - 1; i >= p; i-- {
+		heap.Push(&o.pending, o.processed[i])
+	}
+	// Cancel outputs of the undone executions, oldest first.
+	for i := p; i < n; i++ {
+		for _, out := range o.outputs[i] {
+			switch k.cfg.Cancellation {
+			case Aggressive:
+				k.route(out.Anti())
+			case Lazy:
+				o.lazyPending = append(o.lazyPending, out)
+			}
+		}
+		o.outputs[i] = nil
+	}
+	o.processed = o.processed[:p]
+	o.states = o.states[:p]
+	o.outputs = o.outputs[:p]
+	k.fixSched(o)
+}
+
+// lazyMatch consumes a lazy-pending entry identical to ev, if one exists.
+func (k *Kernel) lazyMatch(o *objRuntime, ev *Event) bool {
+	for i, e := range o.lazyPending {
+		if sameIdentity(e, ev) {
+			o.lazyPending = append(o.lazyPending[:i:i], o.lazyPending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// lazyFlush cancels lazy entries whose send time is strictly below bound:
+// the object's clock (after ProcessOne) or GVT (from FossilCollect) has
+// passed them without re-execution regenerating them. Note that lazy
+// cancellation is susceptible to rollback echoes under heavy message
+// reordering — erroneous computations spread while their cancellation is
+// deferred — which is precisely why the paper runs aggressive cancellation;
+// the harness tests bound reordering when exercising lazy mode.
+func (k *Kernel) lazyFlush(o *objRuntime, bound vtime.VTime) {
+	kept := o.lazyPending[:0]
+	for _, e := range o.lazyPending {
+		if e.SendTS < bound {
+			k.route(e.Anti())
+			k.Stats.LazyAntis.Inc()
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(o.lazyPending); i++ {
+		o.lazyPending[i] = nil
+	}
+	o.lazyPending = kept
+}
+
+// fixSched re-heapifies the scheduler after o's head changed.
+func (k *Kernel) fixSched(o *objRuntime) {
+	heap.Fix(&k.sched, o.heapIdx)
+}

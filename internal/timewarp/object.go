@@ -1,0 +1,69 @@
+package timewarp
+
+import "nicwarp/internal/vtime"
+
+// Object is a simulation object (the unit the application model is written
+// in; several objects share one LP, as in WARPED).
+//
+// Implementations must be deterministic functions of (state, event): given
+// the same saved state and the same input event they must make the same
+// sends and state transitions. All randomness must come from generator
+// state embedded in the object's saved state (see rng.Source, whose value
+// semantics make this trivial). Determinism is what lets rollback, lazy
+// cancellation and the sequential oracle agree.
+type Object interface {
+	// Init runs once at virtual time zero to seed initial events. Sends
+	// made here are unconditional: they can never be rolled back.
+	Init(ctx *Context)
+	// Execute processes one positive event.
+	Execute(ctx *Context, ev *Event)
+	// SaveState returns a snapshot of the object's mutable state. The
+	// kernel calls it before every event execution (WARPED's default
+	// state-saving period of 1).
+	SaveState() interface{}
+	// RestoreState reinstates a snapshot produced by SaveState.
+	RestoreState(s interface{})
+	// Digest folds the object's current state into a hash for oracle
+	// comparison. It must depend on every piece of state that influences
+	// behaviour.
+	Digest() uint64
+}
+
+// Context is the capability surface an object sees while executing. It is
+// only valid for the duration of the Init or Execute call it is passed to.
+type Context struct {
+	k       *Kernel
+	st      *objRuntime
+	now     vtime.VTime
+	inInit  bool
+	current *Event
+}
+
+// Self returns the executing object's ID.
+func (c *Context) Self() ObjectID { return c.st.id }
+
+// Now returns the current virtual time (the receive timestamp of the event
+// being executed; zero during Init).
+func (c *Context) Now() vtime.VTime { return c.now }
+
+// Event returns the event being executed, or nil during Init.
+func (c *Context) Event() *Event { return c.current }
+
+// Send schedules a positive event for dst at Now()+delay. Delay must be at
+// least 1: zero-delay messages would allow causal cycles at a single
+// virtual time, which Time Warp cannot order.
+func (c *Context) Send(dst ObjectID, delay vtime.VTime, payload uint64) {
+	if delay < 1 {
+		panic("timewarp: Send with delay < 1")
+	}
+	c.k.send(c, dst, delay, payload)
+}
+
+// DigestMix is a helper for implementing Object.Digest: it folds v into h
+// with a strong bit mixer.
+func DigestMix(h, v uint64) uint64 {
+	h ^= v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h
+}

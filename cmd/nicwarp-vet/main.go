@@ -1,0 +1,189 @@
+// Command nicwarp-vet is the multichecker driver for the repo's
+// determinism analyzers (see internal/analysis and DESIGN.md "Determinism
+// invariants"). It runs in two modes:
+//
+// Standalone, over package patterns — the form CI uses:
+//
+//	go run ./cmd/nicwarp-vet ./...
+//	go run ./cmd/nicwarp-vet -list
+//	go run ./cmd/nicwarp-vet -walltime.allow='nicwarp/cmd/...' ./internal/...
+//
+// As a go vet tool, speaking the unitchecker .cfg protocol:
+//
+//	go vet -vettool=$(which nicwarp-vet) ./...
+//
+// Standalone mode loads and type-checks packages itself (no go command, no
+// network; see internal/analysis/framework.Loader), so it works in the
+// hermetic CI container. Exit status is nonzero iff any analyzer reported a
+// diagnostic.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nicwarp/internal/analysis"
+	"nicwarp/internal/analysis/framework"
+)
+
+func main() {
+	analyzers := analysis.All()
+
+	// go vet probes its tool with -V=full for cache fingerprinting; the go
+	// command requires the reply to name the tool and carry a buildID, so
+	// hash the executable the way x/tools' unitchecker does.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" {
+			printVersion()
+			return
+		}
+	}
+
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	for _, a := range analyzers {
+		prefix := a.Name + "."
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, prefix+f.Name, f.Usage)
+		})
+	}
+	// go vet also probes with -flags, expecting a JSON description of the
+	// tool's flags so it can decide which command-line flags to forward.
+	for _, arg := range os.Args[1:] {
+		if arg == "-flags" || arg == "--flags" {
+			printFlagsJSON()
+			return
+		}
+	}
+
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnitchecker(args[0], analyzers))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args, analyzers))
+}
+
+// printVersion answers the go command's -V=full probe. The expected shape
+// is "<name> version <words...> buildID=<id>", where the ID fingerprints
+// this binary for go's action cache.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+		os.Exit(1)
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+		os.Exit(1)
+	}
+	sum := sha256.Sum256(data)
+	fmt.Printf("%s version devel buildID=%02x\n", filepath.Base(os.Args[0]), string(sum[:]))
+}
+
+// printFlagsJSON answers the go command's -flags probe with the schema
+// cmd/go expects from a vet tool.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.CommandLine.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// runStandalone loads the requested packages and applies every analyzer.
+func runStandalone(patterns []string, analyzers []*framework.Analyzer) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+		return 1
+	}
+	modRoot, err := framework.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+		return 1
+	}
+	loader, err := framework.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+		return 1
+	}
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+		return 1
+	}
+
+	type finding struct {
+		pos  string
+		line int
+		col  int
+		msg  string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := framework.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+				return 1
+			}
+			for _, d := range diags {
+				p := loader.Fset.Position(d.Pos)
+				findings = append(findings, finding{
+					pos:  p.Filename,
+					line: p.Line,
+					col:  p.Column,
+					msg:  fmt.Sprintf("%s (%s)", d.Message, a.Name),
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos != findings[j].pos {
+			return findings[i].pos < findings[j].pos
+		}
+		if findings[i].line != findings[j].line {
+			return findings[i].line < findings[j].line
+		}
+		return findings[i].col < findings[j].col
+	})
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", f.pos, f.line, f.col, f.msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "nicwarp-vet: %d finding(s) across %d package(s)\n",
+			len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

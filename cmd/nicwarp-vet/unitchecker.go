@@ -1,0 +1,133 @@
+package main
+
+// Minimal implementation of the go vet "unitchecker" protocol, so that
+// `go vet -vettool=$(which nicwarp-vet) ./...` works alongside standalone
+// mode. The go command invokes the tool once per compilation unit with a
+// JSON config file naming the unit's sources and the export data of its
+// dependencies; the tool type-checks the unit against that export data,
+// reports diagnostics on stderr, writes an (empty — the suite exchanges no
+// facts) .vetx output file, and signals findings through its exit status.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"nicwarp/internal/analysis/framework"
+)
+
+// vetConfig mirrors the JSON schema the go command writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes one unit described by cfgPath and returns the
+// process exit code (0 clean, 1 operational error, 2 findings).
+func runUnitchecker(cfgPath string, analyzers []*framework.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "nicwarp-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The suite computes no cross-package facts, but the go command
+	// requires the output file to exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return typecheckFailure(cfg, err)
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor(cfg.Compiler, "amd64")}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return typecheckFailure(cfg, err)
+	}
+
+	pkg := &framework.Package{
+		Path: cfg.ImportPath, Dir: cfg.Dir,
+		Fset: fset, Files: files, Types: tpkg, Info: info,
+	}
+	exit := 0
+	for _, a := range analyzers {
+		diags, err := framework.Run(a, pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+			return 1
+		}
+		for _, d := range diags {
+			p := fset.Position(d.Pos)
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n",
+				p.Filename, p.Line, p.Column, d.Message, a.Name)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// typecheckFailure handles a unit that does not type-check: the go command
+// asks tools to stay quiet when it already knows compilation fails.
+func typecheckFailure(cfg vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "nicwarp-vet: typechecking %s: %v\n", cfg.ImportPath, err)
+	return 1
+}

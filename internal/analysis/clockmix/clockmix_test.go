@@ -1,0 +1,11 @@
+package clockmix
+
+import (
+	"testing"
+
+	"nicwarp/internal/analysis/framework/analysistest"
+)
+
+func TestClockmix(t *testing.T) {
+	analysistest.Run(t, "../testdata", Analyzer, "clockmix_bad", "clockmix_ok")
+}

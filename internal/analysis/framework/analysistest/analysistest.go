@@ -1,0 +1,178 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the local framework.
+//
+// Fixture packages live under <testdata>/src/<importpath>/ in GOPATH-style
+// layout. A fixture file marks each expected diagnostic with a trailing
+// comment on the offending line:
+//
+//	for k := range m { // want `iteration over map`
+//
+// The expectation text is a regular expression, written either backquoted
+// or double-quoted; several expectations may follow one `want`. A fixture
+// package with no `want` comments asserts that the analyzer is silent on
+// it — the non-flagging half of each analyzer's test matrix.
+//
+// Fixtures may import real module packages (for example
+// nicwarp/internal/vtime): the loader resolves module-local paths first and
+// fixture paths second.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nicwarp/internal/analysis/framework"
+)
+
+// expectation is one `// want` regexp, tracked for consumption.
+type expectation struct {
+	rx      *regexp.Regexp
+	raw     string
+	line    int
+	file    string
+	matched bool
+}
+
+// Run loads each fixture package below testdata/src, applies the analyzer,
+// and reports mismatches between diagnostics and `// want` expectations as
+// test errors.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) {
+	t.Helper()
+	testdata, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	modRoot, err := framework.FindModuleRoot(testdata)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader, err := framework.NewLoader(modRoot, filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("analysistest: loading %s: %v", path, err)
+			continue
+		}
+		diags, err := framework.Run(a, pkg)
+		if err != nil {
+			t.Errorf("analysistest: running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkPackage(t, pkg, diags)
+	}
+}
+
+// checkPackage matches diagnostics against expectations for one package.
+func checkPackage(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	expects, err := collectExpectations(pkg)
+	if err != nil {
+		t.Errorf("analysistest: %v", err)
+		return
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !consume(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// consume marks the first unmatched expectation at (file, line) whose
+// regexp matches msg, and reports whether one was found.
+func consume(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.rx.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectExpectations parses every `// want` comment in the package.
+func collectExpectations(pkg *framework.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				exps, err := parseWant(pos, text[idx+len("want "):])
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, exps...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseWant parses the payload of one want comment: a sequence of quoted
+// or backquoted regular expressions.
+func parseWant(pos token.Position, payload string) ([]*expectation, error) {
+	var out []*expectation
+	rest := strings.TrimSpace(payload)
+	for rest != "" {
+		var raw string
+		switch rest[0] {
+		case '`':
+			end := strings.Index(rest[1:], "`")
+			if end < 0 {
+				return nil, fmt.Errorf("%s: unterminated backquote in want", pos)
+			}
+			raw = rest[1 : 1+end]
+			rest = rest[end+2:]
+		case '"':
+			// Find the closing quote, honouring escapes.
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("%s: unterminated quote in want", pos)
+			}
+			unq, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad want string: %v", pos, err)
+			}
+			raw = unq
+			rest = rest[end+1:]
+		default:
+			return nil, fmt.Errorf("%s: want expects quoted or backquoted regexps, got %q", pos, rest)
+		}
+		rx, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, raw, err)
+		}
+		out = append(out, &expectation{rx: rx, raw: raw, line: pos.Line, file: pos.Filename})
+		rest = strings.TrimSpace(rest)
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+// Package framework is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis API surface that the nicwarp-vet suite
+// needs. The container this repository builds in has no module proxy
+// access, so x/tools cannot be vendored; the subset used here — Analyzer,
+// Pass, Diagnostic, a package loader and an analysistest-style fixture
+// runner — is rebuilt on the standard library (go/ast, go/parser, go/types,
+// go/importer) with the same shapes, so analyzers written against it port
+// to the real API mechanically if the dependency ever becomes available.
+//
+// The framework also implements the repo's `//nicwarp:` annotation grammar
+// (see DESIGN.md "Determinism invariants"): an annotation is a line comment
+// of the form
+//
+//	//nicwarp:<name> [rationale...]
+//
+// placed either on the same line as the construct it sanctions or on the
+// line immediately above it. Pass.Annotated performs that lookup.
+package framework
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and flags.
+	Name string
+	// Doc is the analyzer's documentation, shown by `nicwarp-vet -list`.
+	Doc string
+	// Flags holds analyzer-specific flags; the driver re-registers them
+	// namespaced as -<name>.<flag>.
+	Flags flag.FlagSet
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, mirroring analysis.Diagnostic.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one (analyzer, package) unit of work, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Annotated reports whether the construct at pos carries a
+// `//nicwarp:<name>` annotation: a line comment on the same source line or
+// on the line immediately above.
+func (p *Pass) Annotated(pos token.Pos, name string) bool {
+	file := p.fileFor(pos)
+	if file == nil {
+		return false
+	}
+	line := p.Fset.Position(pos).Line
+	marker := "//nicwarp:" + name
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			cl := p.Fset.Position(c.Slash).Line
+			if cl != line && cl != line-1 {
+				continue
+			}
+			text := c.Text
+			if text == marker || strings.HasPrefix(text, marker+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileFor returns the syntax file containing pos, or nil.
+func (p *Pass) fileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Run applies one analyzer to one loaded package and returns its
+// diagnostics sorted by position. Diagnostics inside _test.go files are
+// suppressed (the loader does not parse them, but unitchecker units may).
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d Diagnostic) {
+			if strings.HasSuffix(pkg.Fset.Position(d.Pos).Filename, "_test.go") {
+				return
+			}
+			diags = append(diags, d)
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}
+
+// IsNamed reports whether t is the named type pkgPath.name (after
+// unwrapping aliases but not the underlying type).
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

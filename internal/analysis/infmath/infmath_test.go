@@ -1,0 +1,11 @@
+package infmath
+
+import (
+	"testing"
+
+	"nicwarp/internal/analysis/framework/analysistest"
+)
+
+func TestInfmath(t *testing.T) {
+	analysistest.Run(t, "../testdata", Analyzer, "infmath_bad", "infmath_ok")
+}

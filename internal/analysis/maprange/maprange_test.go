@@ -1,0 +1,11 @@
+package maprange
+
+import (
+	"testing"
+
+	"nicwarp/internal/analysis/framework/analysistest"
+)
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, "../testdata", Analyzer, "maprange_bad", "maprange_ok")
+}

@@ -1,0 +1,156 @@
+// Package statealias flags SaveState implementations whose snapshots alias
+// live object state — the classic Time Warp rollback bug.
+//
+// The kernel calls SaveState before every event execution and hands the
+// result back to RestoreState on rollback. If the snapshot shares mutable
+// storage with the live state (a slice backing array, a map, a pointer),
+// later event executions corrupt the history they are supposed to be able
+// to roll back to, and the run diverges from the sequential oracle only
+// under rollback pressure — the hardest kind of bug to bisect.
+//
+// The mechanical rule: in any method named SaveState with no parameters
+// and one result, a `return` whose operand is a plain value (identifier,
+// field selector, dereference — anything that is not a freshly built
+// composite literal or a call) is treated as a raw shallow copy and flagged
+// when its type transitively contains reference fields (slice, map,
+// pointer, chan, interface). Returning `&x` for a non-literal x is always
+// flagged: the snapshot then IS the live state. Deep-copying
+// implementations either return a composite literal / clone call, or carry
+// a `//nicwarp:deepcopy <reason>` annotation on the return.
+//
+// States built only of scalars — including rng.Source, whose whole state is
+// one uint64, and fixed-size arrays as in the POLICE centre's open-incident
+// table — pass untouched: value copying is exactly how Time Warp state
+// saving is meant to work here.
+package statealias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nicwarp/internal/analysis/framework"
+)
+
+// Analyzer implements the statealias check.
+var Analyzer = &framework.Analyzer{
+	Name: "statealias",
+	Doc: "flag SaveState snapshots that shallow-copy slices/maps/pointers " +
+		"(rollback would alias live state)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "SaveState" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			if fn.Type.Params.NumFields() != 0 || fn.Type.Results.NumFields() != 1 {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok || len(ret.Results) != 1 {
+					return true
+				}
+				checkReturn(pass, ret)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkReturn applies the rule to one `return expr` inside SaveState.
+func checkReturn(pass *framework.Pass, ret *ast.ReturnStmt) {
+	expr := ast.Unparen(ret.Results[0])
+	if pass.Annotated(ret.Pos(), "deepcopy") {
+		return
+	}
+	switch e := expr.(type) {
+	case *ast.CompositeLit, *ast.CallExpr:
+		return // freshly built; assumed to deep-copy its inputs
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, lit := ast.Unparen(e.X).(*ast.CompositeLit); lit {
+				return // &T{...}: fresh allocation
+			}
+			pass.Reportf(ret.Pos(),
+				"SaveState returns a pointer into live state (%s): the snapshot "+
+					"and the object share every field, so rollback restores nothing; "+
+					"return a value copy or annotate //nicwarp:deepcopy <reason>",
+				types.ExprString(expr))
+			return
+		}
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return
+		}
+	}
+	t := pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		pass.Reportf(ret.Pos(),
+			"SaveState returns a pointer-typed snapshot (%s) that aliases live "+
+				"state; return a value copy or annotate //nicwarp:deepcopy <reason>",
+			types.ExprString(expr))
+		return
+	}
+	if path, shared := refField(t, nil); shared {
+		pass.Reportf(ret.Pos(),
+			"SaveState snapshot shallow-copies reference state (field %s): the "+
+				"copy shares storage with the live object and rollback will alias "+
+				"it; deep-copy the field or annotate //nicwarp:deepcopy <reason>",
+			path)
+	}
+}
+
+// refField reports whether t transitively contains a field whose storage a
+// value copy would share, returning the path of the first such field.
+func refField(t types.Type, seen []*types.Named) (string, bool) {
+	if named, ok := t.(*types.Named); ok {
+		for _, s := range seen {
+			if s == named {
+				return "", false
+			}
+		}
+		seen = append(seen, named)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return "", true
+	case *types.Map:
+		return "", true
+	case *types.Pointer:
+		return "", true
+	case *types.Chan:
+		return "", true
+	case *types.Signature:
+		return "", true
+	case *types.Interface:
+		// An interface field can hold anything, including reference types;
+		// the kernel's own snapshot wrapper stores SaveState results in an
+		// interface, so only the concrete state type matters — but a state
+		// struct embedding an interface cannot be checked, so flag it.
+		return "", true
+	case *types.Array:
+		if p, shared := refField(u.Elem(), seen); shared {
+			return "[i]" + p, true
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if p, shared := refField(f.Type(), seen); shared {
+				if p == "" {
+					return f.Name(), true
+				}
+				return f.Name() + "." + p, true
+			}
+		}
+	}
+	return "", false
+}

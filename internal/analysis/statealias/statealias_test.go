@@ -1,0 +1,11 @@
+package statealias
+
+import (
+	"testing"
+
+	"nicwarp/internal/analysis/framework/analysistest"
+)
+
+func TestStatealias(t *testing.T) {
+	analysistest.Run(t, "../testdata", Analyzer, "statealias_bad", "statealias_ok")
+}

@@ -1,0 +1,23 @@
+// Package clockmix_bad exercises the clockmix rule: conversions between
+// the two clock types, direct and laundered through plain integers.
+package clockmix_bad
+
+import "nicwarp/internal/vtime"
+
+func direct(v vtime.VTime) vtime.ModelTime {
+	return vtime.ModelTime(v) // want `conversion of vtime\.VTime to vtime\.ModelTime`
+}
+
+func reverse(m vtime.ModelTime) vtime.VTime {
+	return vtime.VTime(m) // want `conversion of vtime\.ModelTime to vtime\.VTime`
+}
+
+// laundered hides the cross-clock cast behind an int64 conversion.
+func laundered(m vtime.ModelTime) vtime.VTime {
+	return vtime.VTime(int64(m)) // want `conversion of vtime\.ModelTime to vtime\.VTime`
+}
+
+// doubleLaundered stacks two numeric conversions; both are peeled.
+func doubleLaundered(v vtime.VTime) vtime.ModelTime {
+	return vtime.ModelTime(uint64(int64(v))) // want `conversion of vtime\.VTime to vtime\.ModelTime`
+}

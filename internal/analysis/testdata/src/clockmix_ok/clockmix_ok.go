@@ -1,0 +1,26 @@
+// Package clockmix_ok must produce no clockmix diagnostics: building a
+// clock value from a plain integer, extracting a plain integer, and
+// same-clock conversions are all legitimate.
+package clockmix_ok
+
+import "nicwarp/internal/vtime"
+
+// fromInt constructs a virtual timestamp from a plain counter.
+func fromInt(n int64) vtime.VTime {
+	return vtime.VTime(n)
+}
+
+// toInt extracts the raw nanosecond count, e.g. for stats output.
+func toInt(m vtime.ModelTime) int64 {
+	return int64(m)
+}
+
+// same-clock conversion is an identity, not a launder.
+func same(v vtime.VTime) vtime.VTime {
+	return vtime.VTime(v)
+}
+
+// derived goes through the documented rate helpers, not a cast.
+func derived(bytes int) vtime.ModelTime {
+	return vtime.TransferTime(bytes, 1.0)
+}

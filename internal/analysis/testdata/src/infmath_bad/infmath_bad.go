@@ -1,0 +1,23 @@
+// Package infmath_bad exercises the infmath rule: unchecked +, -, * on
+// vtime.VTime in binary expressions, compound assignments and ++/--.
+package infmath_bad
+
+import "nicwarp/internal/vtime"
+
+func add(t, d vtime.VTime) vtime.VTime {
+	return t + d // want `unchecked "\+" on vtime\.VTime may wrap past Infinity`
+}
+
+func lag(now, then vtime.VTime) vtime.VTime {
+	return now - then // want `unchecked "-" on vtime\.VTime`
+}
+
+func scale(t vtime.VTime) vtime.VTime {
+	return t * 2 // want `unchecked "\*" on vtime\.VTime`
+}
+
+func accumulate(t vtime.VTime) vtime.VTime {
+	t += 5 // want `unchecked "\+=" on vtime\.VTime`
+	t++    // want `unchecked "\+\+" on vtime\.VTime`
+	return t
+}

@@ -1,0 +1,36 @@
+// Package infmath_ok must produce no infmath diagnostics: the checked
+// helpers, comparisons, min/max reductions, constant folding and annotated
+// finite arithmetic are all compliant.
+package infmath_ok
+
+import "nicwarp/internal/vtime"
+
+// slack is all-constant and therefore checked at compile time.
+const slack vtime.VTime = 10 + 20
+
+func advance(t, d vtime.VTime) vtime.VTime {
+	return vtime.Advance(t, d)
+}
+
+func saturate(a, b vtime.VTime) vtime.VTime {
+	return vtime.AddSat(a, b)
+}
+
+// merge is the GVT reduction shape: min never wraps.
+func merge(a, b vtime.VTime) vtime.VTime {
+	return vtime.MinV(a, b)
+}
+
+// compare: relational operators are always safe.
+func compare(a, b vtime.VTime) bool {
+	return a < b
+}
+
+// window guards explicitly and annotates the arithmetic as finite.
+func window(t vtime.VTime) vtime.VTime {
+	if t >= vtime.Infinity-100 {
+		return vtime.Infinity
+	}
+	//nicwarp:finite guarded above: t is at least 100 below Infinity
+	return t + 100
+}

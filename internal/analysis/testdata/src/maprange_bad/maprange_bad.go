@@ -1,0 +1,42 @@
+// Package maprange_bad exercises the maprange rule: map iteration whose
+// body is neither a pure key-collection nor annotated //nicwarp:ordered.
+package maprange_bad
+
+func sum(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want `iteration over map m has runtime-randomized order`
+		n += v
+	}
+	return n
+}
+
+type table struct{ rows map[int]string }
+
+// firstKey observably depends on visit order: the classic bug.
+func (t table) firstKey() int {
+	for k := range t.rows { // want `iteration over map t\.rows`
+		return k
+	}
+	return -1
+}
+
+// keysAndCount mixes collection with another effect, so the collection-loop
+// exemption must not apply.
+func keysAndCount(m map[int]int) ([]int, int) {
+	var keys []int
+	n := 0
+	for k := range m { // want `iteration over map m`
+		keys = append(keys, k)
+		n++
+	}
+	return keys, n
+}
+
+type bag map[string]int
+
+// named map types are still maps underneath.
+func drain(b bag) {
+	for k := range b { // want `iteration over map b`
+		delete(b, k)
+	}
+}

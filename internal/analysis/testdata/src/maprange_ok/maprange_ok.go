@@ -1,0 +1,46 @@
+// Package maprange_ok must produce no maprange diagnostics: the sorted
+// key-collection idiom, annotated order-insensitive folds, and ranging over
+// non-map collections are all compliant.
+package maprange_ok
+
+import "sort"
+
+// collect is the canonical pattern: gather keys, sort, then use.
+func collect(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// total annotates a commutative fold on the line above the loop.
+func total(m map[int]int) int {
+	n := 0
+	//nicwarp:ordered commutative fold: sums values
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// minKey uses the same-line annotation form.
+func minKey(m map[int]int) int {
+	best := int(^uint(0) >> 1)
+	for k := range m { //nicwarp:ordered min fold over an order-free key set
+		if k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// slices range deterministically and are never flagged.
+func sumSlice(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}

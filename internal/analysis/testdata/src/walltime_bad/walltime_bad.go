@@ -1,0 +1,26 @@
+// Package walltime_bad exercises every walltime rule: banned imports and
+// wall-clock time functions in a package outside the driver allowlist.
+package walltime_bad
+
+import (
+	"crypto/rand"     // want `import of crypto/rand in deterministic package walltime_bad`
+	mrand "math/rand" // want `import of math/rand in deterministic package walltime_bad`
+	"time"
+)
+
+func stamp() int64 {
+	t := time.Now()              // want `wall-clock access time\.Now in deterministic package`
+	time.Sleep(time.Millisecond) // want `wall-clock access time\.Sleep`
+	d := time.Since(t)           // want `wall-clock access time\.Since`
+	return int64(d) + mrand.Int63()
+}
+
+func entropy() byte {
+	var b [1]byte
+	rand.Read(b[:])
+	return b[0]
+}
+
+func timer() {
+	<-time.After(time.Second) // want `wall-clock access time\.After`
+}

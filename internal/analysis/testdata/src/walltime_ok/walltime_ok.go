@@ -1,0 +1,27 @@
+// Package walltime_ok must produce no walltime diagnostics: constructing
+// time values, pure Duration arithmetic and annotated wall-clock reads are
+// all compliant.
+package walltime_ok
+
+import "time"
+
+// frozen builds a fixed timestamp; only reading the clock is banned.
+func frozen() time.Time {
+	return time.Unix(0, 0)
+}
+
+// width is pure Duration arithmetic, no clock involved.
+func width(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}
+
+// progress is a sanctioned wall-clock read with a same-line annotation.
+func progress() time.Time {
+	return time.Now() //nicwarp:wallclock progress meter only, never enters simulation state
+}
+
+// above uses the line-above annotation form.
+func above() time.Time {
+	//nicwarp:wallclock operator-facing log timestamp
+	return time.Now()
+}

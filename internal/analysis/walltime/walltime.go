@@ -1,0 +1,120 @@
+// Package walltime forbids wall-clock and ambient-entropy access in
+// simulation code.
+//
+// The reproduction's correctness argument is a bit-exact comparison with a
+// sequential oracle: every digest, event count and GVT trace must be a pure
+// function of the experiment seed. A single time.Now() or math/rand draw in
+// a simulation package silently breaks that — results still *look*
+// plausible, they just stop being reproducible. Simulated time lives in
+// nicwarp/internal/vtime and all randomness in nicwarp/internal/rng.
+//
+// Driver and CLI packages legitimately read the wall clock (progress
+// meters, output timestamps); they are exempted through the -allow package
+// allowlist, which defaults to nicwarp/cmd/... and nicwarp/examples/....
+// An individual site in a non-allowlisted package can be sanctioned with a
+// `//nicwarp:wallclock <reason>` annotation.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"nicwarp/internal/analysis/framework"
+)
+
+// DefaultAllow is the default package allowlist: the driver/CLI layers.
+const DefaultAllow = "nicwarp/cmd/...,nicwarp/examples/..."
+
+// Analyzer implements the walltime check.
+var Analyzer = &framework.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock reads (time.Now etc.) and ambient randomness " +
+		"(math/rand, crypto/rand) outside the driver allowlist",
+	Run: run,
+}
+
+var allow string
+
+func init() {
+	Analyzer.Flags.StringVar(&allow, "allow", DefaultAllow,
+		"comma-separated package patterns exempt from the check (p or p/...)")
+}
+
+// bannedImports are packages whose mere import defeats seeded determinism.
+var bannedImports = map[string]string{
+	"math/rand":    "use nicwarp/internal/rng (seeded, part of saved state)",
+	"math/rand/v2": "use nicwarp/internal/rng (seeded, part of saved state)",
+	"crypto/rand":  "use nicwarp/internal/rng (seeded, part of saved state)",
+}
+
+// bannedTimeFuncs are time-package functions that read or wait on the wall
+// clock.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func run(pass *framework.Pass) error {
+	if allowed(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := bannedImports[path]; bad && !pass.Annotated(imp.Pos(), "wallclock") {
+				pass.Reportf(imp.Pos(),
+					"import of %s in deterministic package %s: %s", path, pass.Pkg.Path(), why)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if bannedTimeFuncs[sel.Sel.Name] && !pass.Annotated(call.Pos(), "wallclock") {
+				pass.Reportf(call.Pos(),
+					"wall-clock access time.%s in deterministic package %s: "+
+						"simulated time must come from nicwarp/internal/vtime",
+					sel.Sel.Name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// allowed reports whether pkgPath matches the allowlist.
+func allowed(pkgPath string) bool {
+	for _, pat := range strings.Split(allow, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		if base, ok := strings.CutSuffix(pat, "/..."); ok {
+			if pkgPath == base || strings.HasPrefix(pkgPath, base+"/") {
+				return true
+			}
+		} else if pkgPath == pat {
+			return true
+		}
+	}
+	return false
+}

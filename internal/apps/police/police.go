@@ -224,7 +224,7 @@ func (s *station) Execute(ctx *timewarp.Context, ev *timewarp.Event) {
 			payload(kind, payloadIncident(ev.Payload), uint32(s.index)))
 	case msgAssign:
 		service := vtime.VTime(s.st.rnd.UniformInt64(30, 120))
-		s.st.busyUntil = ctx.Now() + service
+		s.st.busyUntil = vtime.Advance(ctx.Now(), service)
 		s.st.resolved++
 		ctx.Send(ev.Src, service,
 			payload(msgComplete, payloadIncident(ev.Payload), uint32(s.index)))

@@ -228,7 +228,7 @@ func (f *fork) Execute(ctx *timewarp.Context, ev *timewarp.Event) {
 	ctx.Send(f.p.diskID(data), routeDelay, ev.Payload)
 	if f.p.Disks > 1 && f.st.rnd.Bool(f.p.WriteFraction) {
 		parity := (data + 1) % f.p.Disks
-		ctx.Send(f.p.diskID(parity), routeDelay+1, ev.Payload|parityFlag)
+		ctx.Send(f.p.diskID(parity), vtime.Advance(routeDelay, 1), ev.Payload|parityFlag)
 	}
 }
 
@@ -261,8 +261,8 @@ func (d *disk) Init(ctx *timewarp.Context) {}
 func (d *disk) Execute(ctx *timewarp.Context, ev *timewarp.Event) {
 	d.st.served++
 	d.st.acc = timewarp.DigestMix(d.st.acc, ev.Payload^uint64(ev.RecvTS))
-	service := vtime.VTime(d.st.rnd.UniformInt64(20, 90)) // seek + rotation
-	service += vtime.VTime(d.st.rnd.ExpInt64(15))         // transfer
+	service := vtime.VTime(d.st.rnd.UniformInt64(20, 90))               // seek + rotation
+	service = vtime.AddSat(service, vtime.VTime(d.st.rnd.ExpInt64(15))) // transfer
 	if ev.Payload&parityFlag != 0 {
 		return
 	}

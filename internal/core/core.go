@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"nicwarp/internal/bip"
 	"nicwarp/internal/des"
@@ -592,11 +593,16 @@ func (n *node) nicNotify(tag nic.NotifyTag) {
 // cancelled in place, and re-books credit returns that were riding on them.
 func (n *node) drainCreditRefunds() {
 	w := n.nicDev.Shared()
-	for dst, k := range w.CreditRefund {
-		n.flow.Refund(dst, int(k))
+	// Both maps are keyed by destination node, and BookOwed can emit a
+	// credit-return packet whose transmit order is observable in the
+	// hardware model, so drain in ascending destination order rather than
+	// randomized map order.
+	for _, dst := range sortedNodeKeys(w.CreditRefund) {
+		n.flow.Refund(dst, int(w.CreditRefund[dst]))
 		delete(w.CreditRefund, dst)
 	}
-	for dst, k := range w.CreditSalvage {
+	for _, dst := range sortedNodeKeys(w.CreditSalvage) {
+		k := w.CreditSalvage[dst]
 		delete(w.CreditSalvage, dst)
 		if reply := n.flow.BookOwed(dst, int(k)); reply != nil {
 			c := n.cpu.Costs
@@ -605,6 +611,16 @@ func (n *node) drainCreditRefunds() {
 			})
 		}
 	}
+}
+
+// sortedNodeKeys returns the keys of a node-indexed credit map, ascending.
+func sortedNodeKeys(m map[int32]int64) []int32 {
+	keys := make([]int32, 0, len(m))
+	for dst := range m {
+		keys = append(keys, dst)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // hostReceive integrates one inbound packet on the host.

@@ -149,6 +149,7 @@ func (l *Ledger) Join(c uint32) {
 		return
 	}
 	l.epoch = c
+	//nicwarp:ordered commutative fold: sums counters and deletes folded keys
 	for s, cnt := range l.recvByStamp {
 		if s < c {
 			l.recvOld += cnt

@@ -61,6 +61,7 @@ func (l *WaveLedger) Epoch() uint32 { return l.epoch }
 func (l *WaveLedger) OnSend(pkt *proto.Packet) {
 	pkt.ColorEpoch = l.epoch
 	l.sentTotal++
+	//nicwarp:ordered commutative fold: per-wave min over an order-free set
 	for c, m := range l.minRed {
 		if pkt.SendTS < m {
 			l.minRed[c] = pkt.SendTS
@@ -112,6 +113,7 @@ func (l *WaveLedger) Joined(c uint32) bool {
 // whiteRecv returns cumulative receives with stamp below c.
 func (l *WaveLedger) whiteRecv(c uint32) int64 {
 	n := l.recvOld
+	//nicwarp:ordered commutative fold: sums counters below the horizon
 	for s, cnt := range l.recvByStamp {
 		if s < c {
 			n += cnt
@@ -147,6 +149,7 @@ func (l *WaveLedger) Retire(c uint32) {
 	delete(l.minRed, c)
 	// Advance the fold horizon to the oldest wave still active.
 	oldest := l.epoch + 1
+	//nicwarp:ordered commutative fold: min over live wave numbers
 	for w := range l.joinSent {
 		if w < oldest {
 			oldest = w
@@ -154,6 +157,7 @@ func (l *WaveLedger) Retire(c uint32) {
 	}
 	if oldest > l.oldestLive {
 		l.oldestLive = oldest
+		//nicwarp:ordered commutative fold: sums counters and deletes folded keys
 		for s, cnt := range l.recvByStamp {
 			if s < l.oldestLive {
 				l.recvOld += cnt

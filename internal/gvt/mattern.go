@@ -250,6 +250,7 @@ func (m *MatternManager) drainNICDrops(h Host) {
 	if w == nil || len(w.DroppedWhite) == 0 {
 		return
 	}
+	//nicwarp:ordered commutative drain: OnDropped folds per-stamp counters
 	for stamp, n := range w.DroppedWhite {
 		m.ledger.OnDropped(stamp, n)
 		delete(w.DroppedWhite, stamp)

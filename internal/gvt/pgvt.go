@@ -108,6 +108,7 @@ func (m *PGVTManager) bound(h Host) vtime.VTime {
 func (m *PGVTManager) minUnacked() vtime.VTime {
 	if !m.minValid {
 		m.minCache = vtime.Infinity
+		//nicwarp:ordered commutative fold: min over unacked timestamps
 		for ts := range m.unacked {
 			if ts < m.minCache {
 				m.minCache = ts

@@ -62,6 +62,7 @@ func (f *GVTFirmware) join(c uint32) {
 		return
 	}
 	f.epoch = c
+	//nicwarp:ordered commutative fold: sums counters and deletes folded keys
 	for s, n := range f.sentByStamp {
 		if s < c {
 			f.sentOld += n

@@ -199,6 +199,7 @@ func (b *DropBuffer) Len(obj int32) int { return len(b.byObj[obj]) }
 // TotalLen returns the number of recorded IDs across all objects.
 func (b *DropBuffer) TotalLen() int {
 	n := 0
+	//nicwarp:ordered commutative fold: sums lengths, order-free
 	for _, q := range b.byObj {
 		n += len(q)
 	}

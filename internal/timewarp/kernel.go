@@ -458,7 +458,7 @@ func (k *Kernel) send(c *Context, dst ObjectID, delay vtime.VTime, payload uint6
 		Src:     o.id,
 		Dst:     dst,
 		SendTS:  c.now,
-		RecvTS:  c.now + delay,
+		RecvTS:  vtime.Advance(c.now, delay),
 		Sign:    1,
 		Payload: payload,
 	}

@@ -47,6 +47,39 @@ func MinV(a, b VTime) VTime {
 	return b
 }
 
+// AddSat returns a+b, saturating at Infinity. It is the checked form of
+// VTime addition: Infinity is a legal operand (idle LPs report LVT =
+// Infinity; it is the identity of GVT min-reductions), and plain `a + b`
+// wraps negative the moment it flows in, dragging min-reductions — and
+// with them GVT — backwards. AddSat treats any result at or beyond
+// Infinity as Infinity. Underflow (both operands hugely negative) cannot
+// occur with this repo's nonnegative timestamps and panics loudly rather
+// than wrapping.
+func AddSat(a, b VTime) VTime {
+	if a.IsInf() || b.IsInf() {
+		return Infinity
+	}
+	s := a + b //nicwarp:finite overflow of the raw sum is checked on the next lines
+	if b > 0 && s < a {
+		return Infinity
+	}
+	if b < 0 && s > a {
+		panic("vtime: AddSat underflow")
+	}
+	return s
+}
+
+// Advance returns timestamp t advanced by the nonnegative delay d,
+// saturating at Infinity. It is the checked helper for the universal
+// Time Warp operation "schedule at now + delay"; a negative delay is a
+// causality violation and panics.
+func Advance(t, d VTime) VTime {
+	if d < 0 {
+		panic("vtime: Advance with negative delay")
+	}
+	return AddSat(t, d)
+}
+
 // MaxV returns the larger of two virtual times.
 func MaxV(a, b VTime) VTime {
 	if a > b {

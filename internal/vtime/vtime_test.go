@@ -51,6 +51,69 @@ func TestMinVProperties(t *testing.T) {
 	}
 }
 
+func TestAddSat(t *testing.T) {
+	cases := []struct{ a, b, want VTime }{
+		{0, 0, 0},
+		{10, 5, 15},
+		{10, -5, 5},
+		{Infinity, 1, Infinity},
+		{1, Infinity, Infinity},
+		{Infinity, Infinity, Infinity},
+		{Infinity - 1, 1, Infinity},    // exact saturation boundary
+		{Infinity - 1, 1000, Infinity}, // overflow past the boundary
+		{Infinity - 1000, 999, Infinity - 1},
+	}
+	for _, c := range cases {
+		if got := AddSat(c.a, c.b); got != c.want {
+			t.Errorf("AddSat(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAddSatUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddSat underflow did not panic")
+		}
+	}()
+	AddSat(VTime(-1<<63), VTime(-1))
+}
+
+func TestAdvance(t *testing.T) {
+	if got := Advance(10, 5); got != 15 {
+		t.Fatalf("Advance(10,5) = %v", got)
+	}
+	if got := Advance(Infinity, 5); !got.IsInf() {
+		t.Fatalf("Advance(Infinity,5) = %v", got)
+	}
+	if got := Advance(Infinity-1, 2); !got.IsInf() {
+		t.Fatalf("Advance(Infinity-1,2) = %v", got)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance with negative delay did not panic")
+		}
+	}()
+	Advance(10, -1)
+}
+
+func TestAddSatProperties(t *testing.T) {
+	// AddSat is commutative, saturates at Infinity, and agrees with plain
+	// addition whenever the exact sum is representable and non-negative.
+	f := func(a, b uint32) bool {
+		x, y := VTime(a), VTime(b)
+		return AddSat(x, y) == AddSat(y, x) &&
+			AddSat(x, y) == x+y &&
+			AddSat(x, Infinity).IsInf()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestModelTimeUnits(t *testing.T) {
 	if Microsecond != 1000 {
 		t.Fatalf("Microsecond = %d ns", Microsecond)

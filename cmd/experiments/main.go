@@ -2,119 +2,259 @@
 // evaluation section, plus the ablation studies listed in DESIGN.md, and
 // writes them as aligned text tables (and CSV) under -out.
 //
-//	experiments -out results -scale 1.0
+//	experiments -out results -scale 1.0 -j 8 -cache
 //
-// At -scale 1.0 the full suite takes tens of minutes of real time; use
-// -scale 0.25 for a quick pass. Individual experiments can be selected with
-// -only (comma-separated: fig4, fig5, fig6, fig78, ablations).
+// Experiment points run on a parallel worker pool (-j, default all cores)
+// with deterministic aggregation: the tables are byte-identical to a serial
+// run (-j 1) of the same suite. With -cache, results persist under
+// <out>/cache keyed on the configuration digest, so re-running a suite
+// after editing one experiment re-executes only the changed points.
+//
+// Individual experiments are selected with -only (comma-separated registry
+// names; -list prints them). Unknown names are an error, not a silent
+// no-op. The alias "ablations" selects every abl-* experiment.
+//
+// With -bench FILE the selected points are executed twice — serially and on
+// the pool, both cold — and the wall-clock comparison is written to FILE as
+// JSON (the suite-throughput record CI tracks over time); the tables from
+// both executions are compared byte-for-byte as an end-to-end determinism
+// check.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"nicwarp"
+	"nicwarp/internal/runner"
 	"nicwarp/internal/stats"
 )
 
 func main() {
 	var (
-		out   = flag.String("out", "results", "output directory")
-		scale = flag.Float64("scale", 1.0, "workload scale relative to the paper")
-		seed  = flag.Uint64("seed", 1, "experiment seed")
-		nodes = flag.Int("nodes", 8, "cluster size")
-		only  = flag.String("only", "", "comma-separated subset: fig4, fig5, fig6, fig78, ablations")
+		out     = flag.String("out", "results", "output directory")
+		scale   = flag.Float64("scale", 1.0, "workload scale relative to the paper")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		nodes   = flag.Int("nodes", 8, "cluster size")
+		only    = flag.String("only", "", "comma-separated experiment subset (see -list); alias: ablations")
+		workers = flag.Int("j", runtime.GOMAXPROCS(0), "parallel experiment points (1 = serial)")
+		cache   = flag.Bool("cache", false, "persist results under <out>/cache keyed on config digest")
+		bench   = flag.String("bench", "", "run the suite serially and in parallel, write the wall-clock comparison to this JSON file")
+		list    = flag.Bool("list", false, "list registered experiments and exit")
 	)
 	flag.Parse()
 
+	if *list {
+		for _, e := range nicwarp.Experiments() {
+			fmt.Printf("%-24s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	selected, err := selectExperiments(*only)
+	if err != nil {
+		fatal(err)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
 	opts := nicwarp.FigureOpts{Nodes: *nodes, Seed: *seed, Scale: *scale}
 
-	selected := map[string]bool{}
-	if *only != "" {
-		for _, s := range strings.Split(*only, ",") {
-			selected[strings.TrimSpace(s)] = true
-		}
+	// Expand every selected experiment into one flat batch so small
+	// ablations ride along with the big sweeps and the pool never idles.
+	var (
+		jobs  []runner.Job
+		spans []span
+	)
+	for _, exp := range selected {
+		js := exp.Jobs(opts)
+		spans = append(spans, span{exp, len(jobs), len(jobs) + len(js)})
+		jobs = append(jobs, js...)
 	}
-	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+	fmt.Printf("%d experiments, %d points, %d workers\n", len(spans), len(jobs), *workers)
 
-	if want("fig4") {
-		step("Figure 4: RAID execution time vs GVT period (WARPED vs NIC-GVT)")
-		rows, err := nicwarp.Figure4(opts)
+	if *bench != "" {
+		if err := runBench(*bench, opts, jobs, spans, *workers); err != nil {
+			fatal(err)
+		}
+	}
+
+	var c runner.Cache = runner.NewMemCache()
+	if *cache {
+		dc, err := runner.NewDiskCache(filepath.Join(*out, "cache"))
 		if err != nil {
 			fatal(err)
 		}
-		write(*out, "figure4_raid_gvt", nicwarp.GVTTable(rows))
+		fmt.Println("cache:", dc.Dir())
+		c = dc
 	}
-	if want("fig5") {
-		step("Figure 5: POLICE execution time and GVT rounds vs GVT period")
-		rows, err := nicwarp.Figure5(opts)
+	pool := &runner.Runner{Workers: *workers, Cache: c, OnProgress: progressPrinter(len(jobs))}
+	results := pool.Run(jobs)
+
+	failed := 0
+	for _, sp := range spans {
+		step(sp.exp.Description)
+		tbl, err := sp.exp.Render(opts, results[sp.lo:sp.hi])
 		if err != nil {
-			fatal(err)
+			failed++
+			fmt.Fprintln(os.Stderr, "experiments:", sp.exp.Name+":", err)
+			continue
 		}
-		write(*out, "figure5_police_gvt", nicwarp.GVTTable(rows))
+		write(*out, sp.exp.Output, tbl)
 	}
-	if want("fig6") {
-		step("Figure 6: RAID early cancellation vs request count")
-		rows, err := nicwarp.Figure6(opts)
-		if err != nil {
-			fatal(err)
-		}
-		write(*out, "figure6_raid_cancel", nicwarp.CancelTable(rows, "requests"))
+	if n := runner.CachedCount(results); n > 0 {
+		fmt.Printf("%d of %d points served from cache\n", n, len(results))
 	}
-	if want("fig78") {
-		step("Figures 7 and 8: POLICE early cancellation vs station count")
-		rows, err := nicwarp.Figure7and8(opts)
-		if err != nil {
-			fatal(err)
-		}
-		write(*out, "figure7_8_police_cancel", nicwarp.CancelTable(rows, "stations"))
-	}
-	if want("ablations") {
-		step("Ablation: NIC processor speed")
-		if rows, err := nicwarp.AblationNICSpeed(opts); err != nil {
-			fatal(err)
-		} else {
-			write(*out, "ablation_nic_speed", nicwarp.AblationTable(rows, "dropRatePct", "nicUtil"))
-		}
-		step("Ablation: drop-buffer capacity")
-		if rows, err := nicwarp.AblationDropBuffer(opts); err != nil {
-			fatal(err)
-		} else {
-			write(*out, "ablation_drop_buffer", nicwarp.AblationTable(rows, "evictions", "dropped"))
-		}
-		step("Ablation: cancellation policy")
-		if rows, err := nicwarp.AblationCancellationPolicy(opts); err != nil {
-			fatal(err)
-		} else {
-			write(*out, "ablation_cancellation_policy", nicwarp.AblationTable(rows, "antis", "rollbacks"))
-		}
-		step("Ablation: GVT algorithms (pGVT vs Mattern vs NIC-GVT)")
-		if rows, err := nicwarp.AblationGVTAlgorithms(opts); err != nil {
-			fatal(err)
-		} else {
-			write(*out, "ablation_gvt_algorithms", nicwarp.AblationTable(rows, "ctrlMsgs", "computations"))
-		}
-		step("Ablation: NIC receive-buffer depth")
-		if rows, err := nicwarp.AblationRxBuffer(opts); err != nil {
-			fatal(err)
-		} else {
-			write(*out, "ablation_rx_buffer", nicwarp.AblationTable(rows, "dropRatePct", "dropped"))
-		}
-		step("Ablation: NIC-GVT piggyback patience")
-		if rows, err := nicwarp.AblationPiggybackPatience(opts); err != nil {
-			fatal(err)
-		} else {
-			write(*out, "ablation_piggyback_patience", nicwarp.AblationTable(rows, "piggybacks", "doorbells", "rounds"))
-		}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed\n", failed)
+		os.Exit(1)
 	}
 	fmt.Println("done")
+}
+
+// selectExperiments resolves the -only flag against the registry. An empty
+// selection means the full suite; unknown names error out listing the valid
+// ones (previously `-only fig9` ran nothing and exited 0).
+func selectExperiments(only string) ([]nicwarp.Experiment, error) {
+	if strings.TrimSpace(only) == "" {
+		return nicwarp.Experiments(), nil
+	}
+	var names []string
+	for _, s := range strings.Split(only, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if s == "ablations" {
+			names = append(names, nicwarp.AblationNames()...)
+			continue
+		}
+		names = append(names, s)
+	}
+	seen := map[string]bool{}
+	var exps []nicwarp.Experiment
+	for _, name := range names {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		exp, err := nicwarp.ExperimentByName(name)
+		if err != nil {
+			return nil, err
+		}
+		exps = append(exps, exp)
+	}
+	return exps, nil
+}
+
+// progressPrinter renders per-point progress with a wall-clock ETA. The
+// clock stays in this package: internal/runner is deterministic code under
+// the nicwarp-vet walltime rule and only reports counts.
+func progressPrinter(total int) func(runner.Progress) {
+	start := time.Now()
+	return func(p runner.Progress) {
+		status := ""
+		switch {
+		case p.Err != nil:
+			status = " FAILED: " + p.Err.Error()
+		case p.Cached:
+			status = " (cached)"
+		case p.Attempts > 1:
+			status = fmt.Sprintf(" (attempt %d)", p.Attempts)
+		}
+		elapsed := time.Since(start)
+		eta := ""
+		if p.Done > 0 && p.Done < p.Total {
+			remaining := time.Duration(float64(elapsed) / float64(p.Done) * float64(p.Total-p.Done))
+			eta = fmt.Sprintf("  eta %s", remaining.Round(time.Second))
+		}
+		fmt.Printf("[%3d/%3d %7.1fs]%s %s%s\n",
+			p.Done, p.Total, elapsed.Seconds(), eta, p.Name, status)
+	}
+}
+
+// benchRecord is the schema of the -bench JSON artifact: one measurement of
+// suite throughput, serial vs parallel, for the perf trajectory.
+type benchRecord struct {
+	Scale       float64 `json:"scale"`
+	Nodes       int     `json:"nodes"`
+	Seed        uint64  `json:"seed"`
+	Points      int     `json:"points"`
+	Workers     int     `json:"workers"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	SerialSec   float64 `json:"serial_sec"`
+	ParallelSec float64 `json:"parallel_sec"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"tables_identical"`
+}
+
+// span maps an experiment to its slice of the flat job batch.
+type span struct {
+	exp    nicwarp.Experiment
+	lo, hi int
+}
+
+// runBench executes the batch twice cold — one worker, then the pool — and
+// writes the wall-clock comparison. Rendered tables from both executions
+// are compared as an end-to-end determinism check.
+func runBench(path string, opts nicwarp.FigureOpts, jobs []runner.Job, spans []span, workers int) error {
+
+	render := func(results []runner.Result) (string, error) {
+		var b strings.Builder
+		for _, sp := range spans {
+			tbl, err := sp.exp.Render(opts, results[sp.lo:sp.hi])
+			if err != nil {
+				return "", fmt.Errorf("%s: %w", sp.exp.Name, err)
+			}
+			b.WriteString(tbl.CSV())
+		}
+		return b.String(), nil
+	}
+
+	step(fmt.Sprintf("bench: serial pass over %d points", len(jobs)))
+	t0 := time.Now()
+	serialResults := (&runner.Runner{Workers: 1}).Run(jobs)
+	serialSec := time.Since(t0).Seconds()
+	serialTables, err := render(serialResults)
+	if err != nil {
+		return err
+	}
+
+	step(fmt.Sprintf("bench: parallel pass, %d workers", workers))
+	t0 = time.Now()
+	parallelResults := (&runner.Runner{Workers: workers}).Run(jobs)
+	parallelSec := time.Since(t0).Seconds()
+	parallelTables, err := render(parallelResults)
+	if err != nil {
+		return err
+	}
+
+	rec := benchRecord{
+		Scale: opts.Scale, Nodes: opts.Nodes, Seed: opts.Seed,
+		Points: len(jobs), Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SerialSec: serialSec, ParallelSec: parallelSec,
+		Speedup:   serialSec / parallelSec,
+		Identical: serialTables == parallelTables,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: serial %.1fs, parallel %.1fs (%.2fx), tables identical: %v -> %s\n",
+		serialSec, parallelSec, rec.Speedup, rec.Identical, path)
+	if !rec.Identical {
+		return fmt.Errorf("bench: parallel tables differ from serial (determinism violation)")
+	}
+	return nil
 }
 
 var started = time.Now()

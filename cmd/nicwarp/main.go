@@ -13,10 +13,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"nicwarp"
+	"nicwarp/internal/core"
 	"nicwarp/internal/vtime"
 )
+
+// appBuilders maps -app names to model constructors. Unknown names error
+// out listing these, the same contract cmd/experiments has for -only.
+func appBuilders(requests, stations, objects, hops int) map[string]func() nicwarp.App {
+	return map[string]func() nicwarp.App{
+		"raid":   func() nicwarp.App { return nicwarp.RAID(nicwarp.RAIDCancelConfig(requests)) },
+		"police": func() nicwarp.App { return nicwarp.Police(nicwarp.PoliceConfig(stations)) },
+		"phold": func() nicwarp.App {
+			return nicwarp.PHOLD(nicwarp.PHOLDParams{Objects: objects, Population: 1, Hops: hops, MeanDelay: 50, Locality: 0.2})
+		},
+		"pcs": func() nicwarp.App { return nicwarp.PCS(nicwarp.PCSDefault()) },
+	}
+}
 
 func main() {
 	var (
@@ -46,32 +62,38 @@ func main() {
 	if *samples {
 		cfg.SampleEvery = 10 * vtime.Millisecond
 	}
-	switch *gvtMode {
-	case "mattern":
-		cfg.GVT = nicwarp.GVTHostMattern
-	case "nic":
-		cfg.GVT = nicwarp.GVTNIC
-	case "pgvt":
-		cfg.GVT = nicwarp.GVTPGVT
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -gvt %q (want mattern, nic or pgvt)\n", *gvtMode)
+	mode, err := core.ParseGVTMode(*gvtMode)
+	if err != nil {
+		// err is a *core.FieldError naming the field and the accepted
+		// spellings; point it at the flag.
+		fmt.Fprintf(os.Stderr, "-gvt: %v\n", err)
 		os.Exit(2)
 	}
+	cfg.GVT = mode
 	if *lazy {
 		cfg.Cancellation = nicwarp.Lazy
 	}
-	switch *app {
-	case "raid":
-		cfg.App = nicwarp.RAID(nicwarp.RAIDCancelConfig(*requests))
-	case "police":
-		cfg.App = nicwarp.Police(nicwarp.PoliceConfig(*stations))
-	case "phold":
-		p := nicwarp.PHOLDParams{Objects: *objects, Population: 1, Hops: *hops, MeanDelay: 50, Locality: 0.2}
-		cfg.App = nicwarp.PHOLD(p)
-	case "pcs":
-		cfg.App = nicwarp.PCS(nicwarp.PCSDefault())
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -app %q (want raid, police or phold)\n", *app)
+	builders := appBuilders(*requests, *stations, *objects, *hops)
+	build, ok := builders[*app]
+	if !ok {
+		names := make([]string, 0, len(builders))
+		for name := range builders {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "-app: %v\n", &core.FieldError{
+			Field:  "App",
+			Value:  *app,
+			Reason: "unknown application (want " + strings.Join(names, ", ") + ")",
+		})
+		os.Exit(2)
+	}
+	cfg.App = build()
+
+	// Validate up front so flag mistakes (e.g. -cancel with -lazy) surface
+	// as field errors before any model is built.
+	if err := cfg.WithDefaults().Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "invalid configuration:", err)
 		os.Exit(2)
 	}
 

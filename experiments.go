@@ -3,6 +3,7 @@ package nicwarp
 import (
 	"fmt"
 
+	"nicwarp/internal/runner"
 	"nicwarp/internal/stats"
 	"nicwarp/internal/vtime"
 )
@@ -79,71 +80,121 @@ type CancelRow struct {
 	CancelRollbacks int64
 }
 
-// gvtSweep runs one application across GVTPeriods under both GVT
-// implementations.
-func gvtSweep(app func() App, opts FigureOpts) ([]GVTRow, error) {
+// ---- sweep expansion and folding ----
+//
+// Each sweep is expanded into a flat batch of independent experiment points
+// (runner.Job) and folded back into figure rows positionally. The expansion
+// order is load-bearing: fold functions consume results pairwise in the
+// exact order the job builders emit them, which is what lets the serial
+// loop, the parallel pool and a cache-warm replay produce byte-identical
+// tables.
+
+// gvtSweepJobs expands one application family across GVTPeriods under both
+// GVT implementations: for each period, a host-Mattern point then a NIC-GVT
+// point.
+func gvtSweepJobs(prefix string, app func() App, opts FigureOpts) []runner.Job {
 	opts = opts.withDefaults()
-	var rows []GVTRow
+	var jobs []runner.Job
 	for _, period := range GVTPeriods {
-		row := GVTRow{Period: period}
 		for _, mode := range []GVTMode{GVTHostMattern, GVTNIC} {
-			res, err := Run(Config{
-				App:       app(),
-				Nodes:     opts.Nodes,
-				Seed:      opts.Seed,
-				GVT:       mode,
-				GVTPeriod: period,
+			jobs = append(jobs, runner.Job{
+				Name: fmt.Sprintf("%s/period=%d/%v", prefix, period, mode),
+				Config: Config{
+					App:       app(),
+					Nodes:     opts.Nodes,
+					Seed:      opts.Seed,
+					GVT:       mode,
+					GVTPeriod: period,
+				},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("period %d %v: %w", period, mode, err)
-			}
-			if mode == GVTHostMattern {
-				row.HostSec = res.ExecTime.Seconds()
-				row.HostRounds = res.GVTRounds
-				row.HostCtrl = res.GVTControlMsgs
-				row.HostGVTTime = res.HostGVTTime.Seconds()
-			} else {
-				row.NICSec = res.ExecTime.Seconds()
-				row.NICRounds = res.GVTRounds
-				row.NICPiggy = res.GVTPiggybacks
-				row.NICGVTTime = res.HostGVTTime.Seconds()
-			}
 		}
-		rows = append(rows, row)
+	}
+	return jobs
+}
+
+// foldGVTRows folds gvtSweepJobs results (host/NIC pairs per period) back
+// into rows.
+func foldGVTRows(results []runner.Result) ([]GVTRow, error) {
+	if len(results)%2 != 0 {
+		return nil, fmt.Errorf("gvt sweep: odd result count %d", len(results))
+	}
+	var rows []GVTRow
+	for i := 0; i+1 < len(results); i += 2 {
+		host, nic := results[i], results[i+1]
+		if host.Err != nil {
+			return nil, host.Err
+		}
+		if nic.Err != nil {
+			return nil, nic.Err
+		}
+		rows = append(rows, GVTRow{
+			Period:      host.Job.Config.GVTPeriod,
+			HostSec:     host.Res.ExecTime.Seconds(),
+			NICSec:      nic.Res.ExecTime.Seconds(),
+			HostRounds:  host.Res.GVTRounds,
+			NICRounds:   nic.Res.GVTRounds,
+			HostCtrl:    host.Res.GVTControlMsgs,
+			NICPiggy:    nic.Res.GVTPiggybacks,
+			HostGVTTime: host.Res.HostGVTTime.Seconds(),
+			NICGVTTime:  nic.Res.HostGVTTime.Seconds(),
+		})
 	}
 	return rows, nil
 }
 
-// cancelSweep runs one application family across an x-axis with early
-// cancellation off and on.
-func cancelSweep(app func(x int) App, xs []int, opts FigureOpts) ([]CancelRow, error) {
+// cancelSweepJobs expands one application family across an x-axis with
+// early cancellation off and on: for each x, a baseline point then a
+// cancellation point.
+func cancelSweepJobs(prefix string, app func(x int) App, xs []int, opts FigureOpts) []runner.Job {
 	opts = opts.withDefaults()
-	var rows []CancelRow
+	var jobs []runner.Job
 	for _, x := range xs {
-		row := CancelRow{X: x}
 		for _, cancel := range []bool{false, true} {
-			res, err := Run(Config{
-				App:         app(x),
-				Nodes:       opts.Nodes,
-				Seed:        opts.Seed,
-				GVT:         GVTHostMattern,
-				GVTPeriod:   1000,
-				EarlyCancel: cancel,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("x=%d cancel=%v: %w", x, cancel, err)
-			}
+			variant := "base"
 			if cancel {
-				row.CancelSec = res.ExecTime.Seconds()
-				row.CancelMsgs = res.EventMsgsBuilt
-				row.DroppedInPlace = res.DroppedInPlace
-				row.NICDropRatePct = res.NICDropRate()
-				row.CancelRollbacks = res.Rollbacks
-			} else {
-				row.BaseSec = res.ExecTime.Seconds()
-				row.BaseMsgs = res.EventMsgsBuilt
-				row.BaseRollbacks = res.Rollbacks
+				variant = "cancel"
 			}
+			jobs = append(jobs, runner.Job{
+				Name: fmt.Sprintf("%s/x=%d/%s", prefix, x, variant),
+				Config: Config{
+					App:         app(x),
+					Nodes:       opts.Nodes,
+					Seed:        opts.Seed,
+					GVT:         GVTHostMattern,
+					GVTPeriod:   1000,
+					EarlyCancel: cancel,
+				},
+			})
+		}
+	}
+	return jobs
+}
+
+// foldCancelRows folds cancelSweepJobs results (base/cancel pairs, one per
+// x) back into rows.
+func foldCancelRows(xs []int, results []runner.Result) ([]CancelRow, error) {
+	if len(results) != 2*len(xs) {
+		return nil, fmt.Errorf("cancel sweep: %d results for %d x values", len(results), len(xs))
+	}
+	var rows []CancelRow
+	for i, x := range xs {
+		base, cancel := results[2*i], results[2*i+1]
+		if base.Err != nil {
+			return nil, base.Err
+		}
+		if cancel.Err != nil {
+			return nil, cancel.Err
+		}
+		row := CancelRow{
+			X:               x,
+			BaseSec:         base.Res.ExecTime.Seconds(),
+			CancelSec:       cancel.Res.ExecTime.Seconds(),
+			BaseMsgs:        base.Res.EventMsgsBuilt,
+			CancelMsgs:      cancel.Res.EventMsgsBuilt,
+			DroppedInPlace:  cancel.Res.DroppedInPlace,
+			NICDropRatePct:  cancel.Res.NICDropRate(),
+			BaseRollbacks:   base.Res.Rollbacks,
+			CancelRollbacks: cancel.Res.Rollbacks,
 		}
 		row.ImprovementPct = 100 * (row.BaseSec - row.CancelSec) / row.BaseSec
 		rows = append(rows, row)
@@ -151,46 +202,66 @@ func cancelSweep(app func(x int) App, xs []int, opts FigureOpts) ([]CancelRow, e
 	return rows, nil
 }
 
+// defaultRunner is the pool behind the convenience FigureN/AblationX
+// wrappers: all cores, no cache. cmd/experiments builds its own runner so
+// it can thread -j/-cache/progress through.
+func defaultRunner() *runner.Runner { return &runner.Runner{} }
+
+// figureResults resolves a registry experiment and executes its batch on
+// the default parallel runner.
+func figureResults(name string, opts FigureOpts) ([]runner.Result, error) {
+	exp, err := ExperimentByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return defaultRunner().Run(exp.Jobs(opts)), nil
+}
+
 // Figure4 reproduces "RAID Performance with NIC GVT": execution time vs GVT
 // period for the WARPED host implementation and NIC-GVT, on the paper's
-// 10-source/8-fork/8-disk RAID model.
+// 10-source/8-fork/8-disk RAID model. It is a thin wrapper over the "fig4"
+// registry entry.
 func Figure4(opts FigureOpts) ([]GVTRow, error) {
-	o := opts.withDefaults()
-	return gvtSweep(func() App { return RAID(RAIDGVTConfig(o.scaled(20000))) }, o)
+	results, err := figureResults("fig4", opts)
+	if err != nil {
+		return nil, err
+	}
+	return foldGVTRows(results)
 }
 
 // Figure5 reproduces "POLICE Performance with NIC GVT" (5a, execution time)
-// and "POLICE — NIC GVT Rounds" (5b, round counts) in one sweep.
+// and "POLICE — NIC GVT Rounds" (5b, round counts) in one sweep. It is a
+// thin wrapper over the "fig5" registry entry.
 func Figure5(opts FigureOpts) ([]GVTRow, error) {
-	o := opts.withDefaults()
-	return gvtSweep(func() App {
-		p := PoliceConfig(o.scaled(900))
-		return Police(p)
-	}, o)
+	results, err := figureResults("fig5", opts)
+	if err != nil {
+		return nil, err
+	}
+	return foldGVTRows(results)
 }
 
 // Figure6 reproduces "RAID Performance with NIC Direct Cancelation" (6a,
 // percentage improvement) and "RAID Message Count" (6b) over the request
-// sweep, on the 16-source RAID configuration.
+// sweep, on the 16-source RAID configuration. It is a thin wrapper over the
+// "fig6" registry entry.
 func Figure6(opts FigureOpts) ([]CancelRow, error) {
-	o := opts.withDefaults()
-	xs := make([]int, len(RAIDRequestCounts))
-	for i, r := range RAIDRequestCounts {
-		xs[i] = o.scaled(r)
+	results, err := figureResults("fig6", opts)
+	if err != nil {
+		return nil, err
 	}
-	return cancelSweep(func(x int) App { return RAID(RAIDCancelConfig(x)) }, xs, o)
+	return foldCancelRows(raidCancelXs(opts.withDefaults()), results)
 }
 
 // Figure7and8 reproduces "POLICE Performance with NIC Direct Cancelation"
 // (7a), "Percentage of Canceled Messages Dropped by NIC" (7b) and "Police
-// Message Count" (Figure 8) over the station sweep.
+// Message Count" (Figure 8) over the station sweep. It is a thin wrapper
+// over the "fig78" registry entry.
 func Figure7and8(opts FigureOpts) ([]CancelRow, error) {
-	o := opts.withDefaults()
-	xs := make([]int, len(PoliceStations))
-	for i, s := range PoliceStations {
-		xs[i] = o.scaled(s)
+	results, err := figureResults("fig78", opts)
+	if err != nil {
+		return nil, err
 	}
-	return cancelSweep(func(x int) App { return Police(PoliceConfig(x)) }, xs, o)
+	return foldCancelRows(policeCancelXs(opts.withDefaults()), results)
 }
 
 // GVTTable renders a Figure 4/5 sweep.
@@ -220,195 +291,6 @@ type AblationRow struct {
 	Extra map[string]float64
 }
 
-// AblationNICSpeed sweeps the NIC processor clock — the paper's future-work
-// question of how better NIC processors change the trade-off — running
-// NIC-GVT with early cancellation at each speed.
-func AblationNICSpeed(opts FigureOpts) ([]AblationRow, error) {
-	o := opts.withDefaults()
-	var rows []AblationRow
-	for _, mhz := range []float64{33, 66, 132, 264, 528} {
-		cfg := Config{
-			App:         Police(PoliceConfig(o.scaled(900))),
-			Nodes:       o.Nodes,
-			Seed:        o.Seed,
-			GVT:         GVTNIC,
-			GVTPeriod:   100,
-			EarlyCancel: true,
-		}
-		cfg = cfg.WithDefaults()
-		cfg.NIC.ClockHz = mhz * 1e6
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Label: fmt.Sprintf("%.0fMHz", mhz),
-			Sec:   res.ExecTime.Seconds(),
-			Extra: map[string]float64{
-				"dropRatePct": res.NICDropRate(),
-				"nicUtil":     res.NICUtil,
-			},
-		})
-	}
-	return rows, nil
-}
-
-// AblationDropBuffer sweeps the per-object dropped-ID buffer capacity (the
-// paper fixes it at 10) and reports the correctness hazards (evictions) and
-// performance at each size.
-func AblationDropBuffer(opts FigureOpts) ([]AblationRow, error) {
-	o := opts.withDefaults()
-	var rows []AblationRow
-	for _, cap := range []int{2, 10, 64, 1024} {
-		res, err := Run(Config{
-			App:           Police(PoliceConfig(o.scaled(900))),
-			Nodes:         o.Nodes,
-			Seed:          o.Seed,
-			GVT:           GVTHostMattern,
-			GVTPeriod:     1000,
-			EarlyCancel:   true,
-			DropBufferCap: cap,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Label: fmt.Sprintf("cap=%d", cap),
-			Sec:   res.ExecTime.Seconds(),
-			Extra: map[string]float64{
-				"evictions": float64(res.DropBufEvictions),
-				"dropped":   float64(res.DroppedInPlace),
-			},
-		})
-	}
-	return rows, nil
-}
-
-// AblationCancellationPolicy compares aggressive and lazy kernel
-// cancellation (without NIC early cancellation, which requires aggressive).
-func AblationCancellationPolicy(opts FigureOpts) ([]AblationRow, error) {
-	o := opts.withDefaults()
-	var rows []AblationRow
-	for _, pol := range []CancellationPolicy{Aggressive, Lazy} {
-		res, err := Run(Config{
-			App:          RAID(RAIDCancelConfig(o.scaled(20000))),
-			Nodes:        o.Nodes,
-			Seed:         o.Seed,
-			GVT:          GVTHostMattern,
-			GVTPeriod:    100,
-			Cancellation: pol,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Label: pol.String(),
-			Sec:   res.ExecTime.Seconds(),
-			Extra: map[string]float64{
-				"antis":     float64(res.AntisBuilt),
-				"rollbacks": float64(res.Rollbacks),
-			},
-		})
-	}
-	return rows, nil
-}
-
-// AblationPiggybackPatience sweeps the NIC-GVT handshake fallback delay:
-// the trade-off between waiting for event traffic to piggyback on and
-// paying doorbell bus crossings.
-func AblationPiggybackPatience(opts FigureOpts) ([]AblationRow, error) {
-	o := opts.withDefaults()
-	var rows []AblationRow
-	for _, us := range []int{10, 50, 150, 500, 2000} {
-		cfg := Config{
-			App:       RAID(RAIDGVTConfig(o.scaled(20000))),
-			Nodes:     o.Nodes,
-			Seed:      o.Seed,
-			GVT:       GVTNIC,
-			GVTPeriod: 1,
-		}
-		cfg.GVTFallbackDelay = vtime.ModelTime(us) * vtime.Microsecond
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Label: fmt.Sprintf("%dus", us),
-			Sec:   res.ExecTime.Seconds(),
-			Extra: map[string]float64{
-				"piggybacks": float64(res.GVTPiggybacks),
-				"doorbells":  float64(res.GVTDoorbells),
-				"rounds":     float64(res.GVTRounds),
-			},
-		})
-	}
-	return rows, nil
-}
-
-// AblationGVTAlgorithms compares the three GVT implementations — pGVT
-// (acknowledgement-heavy centralized baseline), host Mattern (WARPED's
-// default) and NIC-GVT — at an aggressive period, quantifying the paper's
-// "we use Mattern's algorithm because it has a lower overhead" choice and
-// its own improvement on top.
-func AblationGVTAlgorithms(opts FigureOpts) ([]AblationRow, error) {
-	o := opts.withDefaults()
-	var rows []AblationRow
-	for _, mode := range []GVTMode{GVTPGVT, GVTHostMattern, GVTNIC} {
-		res, err := Run(Config{
-			App:       RAID(RAIDGVTConfig(o.scaled(20000))),
-			Nodes:     o.Nodes,
-			Seed:      o.Seed,
-			GVT:       mode,
-			GVTPeriod: 10,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Label: mode.String(),
-			Sec:   res.ExecTime.Seconds(),
-			Extra: map[string]float64{
-				"ctrlMsgs":     float64(res.GVTControlMsgs),
-				"computations": float64(res.GVTComputations),
-			},
-		})
-	}
-	return rows, nil
-}
-
-// AblationRxBuffer sweeps the NIC receive-buffer capacity, the knob that
-// controls how far receiver congestion backs up into sender NIC queues (and
-// with it, how much backlog early cancellation can reach).
-func AblationRxBuffer(opts FigureOpts) ([]AblationRow, error) {
-	o := opts.withDefaults()
-	var rows []AblationRow
-	for _, cap := range []int{6, 12, 28, 96} {
-		cfg := Config{
-			App:         Police(PoliceConfig(o.scaled(900))),
-			Nodes:       o.Nodes,
-			Seed:        o.Seed,
-			GVT:         GVTHostMattern,
-			GVTPeriod:   1000,
-			EarlyCancel: true,
-		}
-		cfg = cfg.WithDefaults()
-		cfg.NIC.RxQueueCap = cap
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Label: fmt.Sprintf("rx=%d", cap),
-			Sec:   res.ExecTime.Seconds(),
-			Extra: map[string]float64{
-				"dropRatePct": res.NICDropRate(),
-				"dropped":     float64(res.DroppedInPlace),
-			},
-		})
-	}
-	return rows, nil
-}
-
 // AblationTable renders ablation rows with their extra columns.
 func AblationTable(rows []AblationRow, extras ...string) *stats.Table {
 	header := append([]string{"variant", "exec_sec"}, extras...)
@@ -421,4 +303,294 @@ func AblationTable(rows []AblationRow, extras ...string) *stats.Table {
 		t.AddRow(cells...)
 	}
 	return t
+}
+
+// ---- ablation definitions ----
+
+// ablationVariant is one labelled point of an ablation sweep.
+type ablationVariant struct {
+	label string
+	cfg   Config
+}
+
+// ablationDef declares one ablation experiment: its labelled config
+// variants and how to extract the extra columns from a result.
+type ablationDef struct {
+	name        string // registry name ("abl-nic-speed")
+	output      string // results file stem ("ablation_nic_speed")
+	description string
+	extras      []string // extra table columns, in order
+	variants    func(o FigureOpts) []ablationVariant
+	extract     func(res *Result) map[string]float64
+}
+
+// jobs expands the ablation into runner jobs, one per variant.
+func (a ablationDef) jobs(opts FigureOpts) []runner.Job {
+	o := opts.withDefaults()
+	var jobs []runner.Job
+	for _, v := range a.variants(o) {
+		jobs = append(jobs, runner.Job{Name: a.name + "/" + v.label, Config: v.cfg})
+	}
+	return jobs
+}
+
+// fold rebuilds the ablation rows from results in variant order.
+func (a ablationDef) fold(opts FigureOpts, results []runner.Result) ([]AblationRow, error) {
+	variants := a.variants(opts.withDefaults())
+	if len(results) != len(variants) {
+		return nil, fmt.Errorf("%s: %d results for %d variants", a.name, len(results), len(variants))
+	}
+	var rows []AblationRow
+	for i, v := range variants {
+		if results[i].Err != nil {
+			return nil, results[i].Err
+		}
+		res := results[i].Res
+		rows = append(rows, AblationRow{Label: v.label, Sec: res.ExecTime.Seconds(), Extra: a.extract(res)})
+	}
+	return rows, nil
+}
+
+// experiment adapts the definition to a registry entry.
+func (a ablationDef) experiment() Experiment {
+	return Experiment{
+		Name:        a.name,
+		Output:      a.output,
+		Description: a.description,
+		Jobs:        a.jobs,
+		Render: func(opts FigureOpts, results []runner.Result) (*stats.Table, error) {
+			rows, err := a.fold(opts, results)
+			if err != nil {
+				return nil, err
+			}
+			return AblationTable(rows, a.extras...), nil
+		},
+	}
+}
+
+// ablationDefs lists the ablation studies of DESIGN.md, in suite order.
+func ablationDefs() []ablationDef {
+	return []ablationDef{
+		{
+			name:        "abl-nic-speed",
+			output:      "ablation_nic_speed",
+			description: "Ablation: NIC processor speed",
+			extras:      []string{"dropRatePct", "nicUtil"},
+			variants: func(o FigureOpts) []ablationVariant {
+				var vs []ablationVariant
+				for _, mhz := range []float64{33, 66, 132, 264, 528} {
+					cfg := Config{
+						App:         Police(PoliceConfig(o.scaled(900))),
+						Nodes:       o.Nodes,
+						Seed:        o.Seed,
+						GVT:         GVTNIC,
+						GVTPeriod:   100,
+						EarlyCancel: true,
+					}
+					cfg = cfg.WithDefaults()
+					cfg.NIC.ClockHz = mhz * 1e6
+					vs = append(vs, ablationVariant{fmt.Sprintf("%.0fMHz", mhz), cfg})
+				}
+				return vs
+			},
+			extract: func(res *Result) map[string]float64 {
+				return map[string]float64{"dropRatePct": res.NICDropRate(), "nicUtil": res.NICUtil}
+			},
+		},
+		{
+			name:        "abl-drop-buffer",
+			output:      "ablation_drop_buffer",
+			description: "Ablation: drop-buffer capacity",
+			extras:      []string{"evictions", "dropped"},
+			variants: func(o FigureOpts) []ablationVariant {
+				var vs []ablationVariant
+				for _, cap := range []int{2, 10, 64, 1024} {
+					vs = append(vs, ablationVariant{fmt.Sprintf("cap=%d", cap), Config{
+						App:           Police(PoliceConfig(o.scaled(900))),
+						Nodes:         o.Nodes,
+						Seed:          o.Seed,
+						GVT:           GVTHostMattern,
+						GVTPeriod:     1000,
+						EarlyCancel:   true,
+						DropBufferCap: cap,
+					}})
+				}
+				return vs
+			},
+			extract: func(res *Result) map[string]float64 {
+				return map[string]float64{
+					"evictions": float64(res.DropBufEvictions),
+					"dropped":   float64(res.DroppedInPlace),
+				}
+			},
+		},
+		{
+			name:        "abl-cancel-policy",
+			output:      "ablation_cancellation_policy",
+			description: "Ablation: cancellation policy",
+			extras:      []string{"antis", "rollbacks"},
+			variants: func(o FigureOpts) []ablationVariant {
+				var vs []ablationVariant
+				for _, pol := range []CancellationPolicy{Aggressive, Lazy} {
+					vs = append(vs, ablationVariant{pol.String(), Config{
+						App:          RAID(RAIDCancelConfig(o.scaled(20000))),
+						Nodes:        o.Nodes,
+						Seed:         o.Seed,
+						GVT:          GVTHostMattern,
+						GVTPeriod:    100,
+						Cancellation: pol,
+					}})
+				}
+				return vs
+			},
+			extract: func(res *Result) map[string]float64 {
+				return map[string]float64{
+					"antis":     float64(res.AntisBuilt),
+					"rollbacks": float64(res.Rollbacks),
+				}
+			},
+		},
+		{
+			name:        "abl-gvt-algorithms",
+			output:      "ablation_gvt_algorithms",
+			description: "Ablation: GVT algorithms (pGVT vs Mattern vs NIC-GVT)",
+			extras:      []string{"ctrlMsgs", "computations"},
+			variants: func(o FigureOpts) []ablationVariant {
+				var vs []ablationVariant
+				for _, mode := range []GVTMode{GVTPGVT, GVTHostMattern, GVTNIC} {
+					vs = append(vs, ablationVariant{mode.String(), Config{
+						App:       RAID(RAIDGVTConfig(o.scaled(20000))),
+						Nodes:     o.Nodes,
+						Seed:      o.Seed,
+						GVT:       mode,
+						GVTPeriod: 10,
+					}})
+				}
+				return vs
+			},
+			extract: func(res *Result) map[string]float64 {
+				return map[string]float64{
+					"ctrlMsgs":     float64(res.GVTControlMsgs),
+					"computations": float64(res.GVTComputations),
+				}
+			},
+		},
+		{
+			name:        "abl-rx-buffer",
+			output:      "ablation_rx_buffer",
+			description: "Ablation: NIC receive-buffer depth",
+			extras:      []string{"dropRatePct", "dropped"},
+			variants: func(o FigureOpts) []ablationVariant {
+				var vs []ablationVariant
+				for _, cap := range []int{6, 12, 28, 96} {
+					cfg := Config{
+						App:         Police(PoliceConfig(o.scaled(900))),
+						Nodes:       o.Nodes,
+						Seed:        o.Seed,
+						GVT:         GVTHostMattern,
+						GVTPeriod:   1000,
+						EarlyCancel: true,
+					}
+					cfg = cfg.WithDefaults()
+					cfg.NIC.RxQueueCap = cap
+					vs = append(vs, ablationVariant{fmt.Sprintf("rx=%d", cap), cfg})
+				}
+				return vs
+			},
+			extract: func(res *Result) map[string]float64 {
+				return map[string]float64{
+					"dropRatePct": res.NICDropRate(),
+					"dropped":     float64(res.DroppedInPlace),
+				}
+			},
+		},
+		{
+			name:        "abl-piggyback-patience",
+			output:      "ablation_piggyback_patience",
+			description: "Ablation: NIC-GVT piggyback patience",
+			extras:      []string{"piggybacks", "doorbells", "rounds"},
+			variants: func(o FigureOpts) []ablationVariant {
+				var vs []ablationVariant
+				for _, us := range []int{10, 50, 150, 500, 2000} {
+					cfg := Config{
+						App:       RAID(RAIDGVTConfig(o.scaled(20000))),
+						Nodes:     o.Nodes,
+						Seed:      o.Seed,
+						GVT:       GVTNIC,
+						GVTPeriod: 1,
+					}
+					cfg.GVTFallbackDelay = vtime.ModelTime(us) * vtime.Microsecond
+					vs = append(vs, ablationVariant{fmt.Sprintf("%dus", us), cfg})
+				}
+				return vs
+			},
+			extract: func(res *Result) map[string]float64 {
+				return map[string]float64{
+					"piggybacks": float64(res.GVTPiggybacks),
+					"doorbells":  float64(res.GVTDoorbells),
+					"rounds":     float64(res.GVTRounds),
+				}
+			},
+		},
+	}
+}
+
+// ablationRows resolves an ablation by registry name and executes it on the
+// default parallel runner.
+func ablationRows(name string, opts FigureOpts) ([]AblationRow, error) {
+	for _, a := range ablationDefs() {
+		if a.name == name {
+			return a.fold(opts, defaultRunner().Run(a.jobs(opts)))
+		}
+	}
+	return nil, fmt.Errorf("unknown ablation %q", name)
+}
+
+// AblationNICSpeed sweeps the NIC processor clock — the paper's future-work
+// question of how better NIC processors change the trade-off — running
+// NIC-GVT with early cancellation at each speed. It is a thin wrapper over
+// the "abl-nic-speed" registry entry.
+func AblationNICSpeed(opts FigureOpts) ([]AblationRow, error) {
+	return ablationRows("abl-nic-speed", opts)
+}
+
+// AblationDropBuffer sweeps the per-object dropped-ID buffer capacity (the
+// paper fixes it at 10) and reports the correctness hazards (evictions) and
+// performance at each size. It is a thin wrapper over the "abl-drop-buffer"
+// registry entry.
+func AblationDropBuffer(opts FigureOpts) ([]AblationRow, error) {
+	return ablationRows("abl-drop-buffer", opts)
+}
+
+// AblationCancellationPolicy compares aggressive and lazy kernel
+// cancellation (without NIC early cancellation, which requires aggressive).
+// It is a thin wrapper over the "abl-cancel-policy" registry entry.
+func AblationCancellationPolicy(opts FigureOpts) ([]AblationRow, error) {
+	return ablationRows("abl-cancel-policy", opts)
+}
+
+// AblationPiggybackPatience sweeps the NIC-GVT handshake fallback delay:
+// the trade-off between waiting for event traffic to piggyback on and
+// paying doorbell bus crossings. It is a thin wrapper over the
+// "abl-piggyback-patience" registry entry.
+func AblationPiggybackPatience(opts FigureOpts) ([]AblationRow, error) {
+	return ablationRows("abl-piggyback-patience", opts)
+}
+
+// AblationGVTAlgorithms compares the three GVT implementations — pGVT
+// (acknowledgement-heavy centralized baseline), host Mattern (WARPED's
+// default) and NIC-GVT — at an aggressive period, quantifying the paper's
+// "we use Mattern's algorithm because it has a lower overhead" choice and
+// its own improvement on top. It is a thin wrapper over the
+// "abl-gvt-algorithms" registry entry.
+func AblationGVTAlgorithms(opts FigureOpts) ([]AblationRow, error) {
+	return ablationRows("abl-gvt-algorithms", opts)
+}
+
+// AblationRxBuffer sweeps the NIC receive-buffer capacity, the knob that
+// controls how far receiver congestion backs up into sender NIC queues (and
+// with it, how much backlog early cancellation can reach). It is a thin
+// wrapper over the "abl-rx-buffer" registry entry.
+func AblationRxBuffer(opts FigureOpts) ([]AblationRow, error) {
+	return ablationRows("abl-rx-buffer", opts)
 }

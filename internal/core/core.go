@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"nicwarp/internal/bip"
 	"nicwarp/internal/des"
@@ -152,26 +153,35 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
-// Validate rejects inconsistent configurations.
+// Validate rejects inconsistent configurations. Violations are reported as
+// *FieldError values naming the offending Config field.
 func (c Config) Validate() error {
 	if c.App == nil {
-		return fmt.Errorf("core: no application configured")
+		return &FieldError{Field: "App", Value: nil, Reason: "no application configured"}
 	}
 	if c.Nodes < 1 {
-		return fmt.Errorf("core: need at least one node, got %d", c.Nodes)
+		return &FieldError{Field: "Nodes", Value: c.Nodes, Reason: "need at least one node"}
 	}
 	if c.GVTPeriod < 1 {
-		return fmt.Errorf("core: GVT period must be >= 1, got %d", c.GVTPeriod)
+		return &FieldError{Field: "GVTPeriod", Value: c.GVTPeriod, Reason: "GVT period must be >= 1"}
+	}
+	switch c.GVT {
+	case GVTHostMattern, GVTNIC, GVTPGVT:
+	default:
+		return &FieldError{Field: "GVT", Value: int(c.GVT),
+			Reason: "unknown GVT mode (want " + strings.Join(GVTModeNames(), ", ") + ")"}
 	}
 	if c.EarlyCancel && c.Cancellation != timewarp.Aggressive {
 		// The in-place drop is only provably cancelled by the host under
 		// aggressive cancellation (see firmware.CancelFirmware).
-		return fmt.Errorf("core: early cancellation requires aggressive cancellation")
+		return &FieldError{Field: "EarlyCancel", Value: true,
+			Reason: "early cancellation requires aggressive cancellation"}
 	}
 	if c.EarlyCancel && c.GVT == GVTPGVT {
 		// A packet dropped in place is never delivered, so it would pin the
 		// sender's unacknowledged-send set and stall pGVT forever.
-		return fmt.Errorf("core: early cancellation is incompatible with pGVT (dropped packets are never acknowledged)")
+		return &FieldError{Field: "EarlyCancel", Value: true,
+			Reason: "early cancellation is incompatible with pGVT (dropped packets are never acknowledged)"}
 	}
 	if err := c.Costs.Validate(); err != nil {
 		return err

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"nicwarp/internal/apps/phold"
+	"nicwarp/internal/hostmodel"
+	"nicwarp/internal/iobus"
+	"nicwarp/internal/mpich"
+	"nicwarp/internal/nic"
+	"nicwarp/internal/simnet"
+	"nicwarp/internal/timewarp"
+	"nicwarp/internal/vtime"
+)
+
+// digestBase returns a config with every field away from its zero value, so
+// a per-field mutation cannot collide with WithDefaults normalization.
+func digestBase() Config {
+	return Config{
+		App:              phold.New(phold.Params{Objects: 8, Population: 1, Hops: 40, MeanDelay: 50, Locality: 0.2}),
+		Nodes:            4,
+		Seed:             7,
+		GVT:              GVTNIC,
+		GVTPeriod:        123,
+		GVTFallbackDelay: 55 * vtime.Microsecond,
+		EarlyCancel:      true,
+		DropBufferCap:    17,
+		Cancellation:     timewarp.Aggressive,
+		Costs:            hostmodel.DefaultCostTable(),
+		NIC:              nic.DefaultConfig(),
+		Net:              simnet.DefaultConfig(),
+		Bus:              iobus.DefaultConfig(),
+		Flow:             mpich.DefaultConfig(),
+		MaxModelTime:     3 * vtime.Second,
+		VerifyOracle:     true,
+		SampleEvery:      9 * vtime.Millisecond,
+	}
+}
+
+// mutateLeaf changes the first mutable scalar leaf reachable under v and
+// reports whether it found one.
+func mutateLeaf(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+		return true
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+		return true
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+		return true
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float()*2 + 1)
+		return true
+	case reflect.String:
+		v.SetString(v.String() + "x")
+		return true
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).CanSet() && mutateLeaf(v.Field(i)) {
+				return true
+			}
+		}
+	case reflect.Ptr:
+		if !v.IsNil() {
+			return mutateLeaf(v.Elem())
+		}
+	}
+	return false
+}
+
+// TestDigestSensitiveToEveryField asserts the cache key covers the full
+// exported Config surface: mutating any field (or, for the App interface
+// and embedded hardware structs, a scalar inside it) changes the digest.
+func TestDigestSensitiveToEveryField(t *testing.T) {
+	base := digestBase().Digest()
+	typ := reflect.TypeOf(Config{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		cfg := digestBase()
+		v := reflect.ValueOf(&cfg).Elem().Field(i)
+		switch f.Name {
+		case "App":
+			// Swap for an app differing only in one parameter.
+			cfg.App = phold.New(phold.Params{Objects: 8, Population: 1, Hops: 41, MeanDelay: 50, Locality: 0.2})
+		default:
+			if !mutateLeaf(v) {
+				t.Fatalf("field %s: no mutable scalar leaf found", f.Name)
+			}
+		}
+		if got := cfg.Digest(); got == base {
+			t.Errorf("field %s: digest unchanged after mutation", f.Name)
+		}
+	}
+}
+
+// TestDigestNormalizesDefaults asserts a zero field and its explicit
+// default share a digest (they describe the same experiment).
+func TestDigestNormalizesDefaults(t *testing.T) {
+	app := phold.New(phold.Params{Objects: 8, Population: 1, Hops: 40, MeanDelay: 50})
+	zero := Config{App: app, Nodes: 4, Seed: 1}
+	expl := Config{App: app, Nodes: 4, Seed: 1, GVTPeriod: 1000,
+		Costs: hostmodel.DefaultCostTable(), NIC: nic.DefaultConfig(),
+		Net: simnet.DefaultConfig(), Bus: iobus.DefaultConfig(), Flow: mpich.DefaultConfig(),
+		MaxModelTime: 24 * 3600 * vtime.Second}
+	if zero.Digest() != expl.Digest() {
+		t.Fatalf("zero config and explicit defaults digest differently:\n %s\n %s",
+			zero.Digest(), expl.Digest())
+	}
+}
+
+// TestDigestStable asserts repeated digests of the same config are
+// identical (no map-order or pointer-identity leakage) and that distinct
+// app types do not collide.
+func TestDigestStable(t *testing.T) {
+	a, b := digestBase(), digestBase()
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same config, different digests")
+	}
+	for i := 0; i < 10; i++ {
+		if a.Digest() != b.Digest() {
+			t.Fatalf("digest unstable on iteration %d", i)
+		}
+	}
+}
+
+// TestDigestGolden pins the digest of a fixed config across processes and
+// builds: the on-disk cache (runner.DiskCache) is only sound if the key a
+// fresh process computes matches the key a previous process stored. The
+// constant must change exactly when Config's canonical shape changes — if
+// you extend Config (or a struct it embeds), update the constant AND clear
+// results/cache/.
+func TestDigestGolden(t *testing.T) {
+	cfg := Config{App: phold.New(phold.Params{Objects: 8, Population: 1, Hops: 40, MeanDelay: 50, Locality: 0.2}), Nodes: 4, Seed: 7}
+	const golden = "9c1c7ac3285f70337d36e94d811bb0d99c01c1feb4523b16270ca8543796ce6c"
+	if got := cfg.Digest(); got != golden {
+		t.Fatalf("digest of the pinned config changed:\n got  %s\n want %s\n"+
+			"(expected only when Config's shape changes; update the constant and clear results/cache/)", got, golden)
+	}
+}
+
+// TestValidateFieldErrors asserts Validate reports typed field errors that
+// name the offending field.
+func TestValidateFieldErrors(t *testing.T) {
+	app := phold.New(phold.Params{Objects: 8, Population: 1, Hops: 40, MeanDelay: 50})
+	cases := []struct {
+		cfg   Config
+		field string
+	}{
+		{Config{Nodes: 4, GVTPeriod: 10}, "App"},
+		{Config{App: app, Nodes: 0, GVTPeriod: 10}, "Nodes"},
+		{Config{App: app, Nodes: 4, GVTPeriod: 0}, "GVTPeriod"},
+		{Config{App: app, Nodes: 4, GVTPeriod: 10, GVT: GVTMode(99)}, "GVT"},
+		{Config{App: app, Nodes: 4, GVTPeriod: 10, EarlyCancel: true, Cancellation: timewarp.Lazy}, "EarlyCancel"},
+		{Config{App: app, Nodes: 4, GVTPeriod: 10, EarlyCancel: true, GVT: GVTPGVT}, "EarlyCancel"},
+	}
+	for _, c := range cases {
+		cfg := c.cfg
+		cfg.Costs = hostmodel.DefaultCostTable()
+		cfg.Flow = mpich.DefaultConfig()
+		err := cfg.Validate()
+		var fe *FieldError
+		if !errors.As(err, &fe) {
+			t.Fatalf("want *FieldError for %s, got %v", c.field, err)
+		}
+		if fe.Field != c.field {
+			t.Errorf("want field %s, got %s (%v)", c.field, fe.Field, fe)
+		}
+	}
+}
+
+// TestParseGVTMode asserts the accepted spellings resolve and unknown names
+// produce a FieldError listing the choices.
+func TestParseGVTMode(t *testing.T) {
+	for name, want := range map[string]GVTMode{
+		"mattern": GVTHostMattern, "nic": GVTNIC, "nic-gvt": GVTNIC, "pgvt": GVTPGVT,
+	} {
+		got, err := ParseGVTMode(name)
+		if err != nil || got != want {
+			t.Errorf("ParseGVTMode(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	_, err := ParseGVTMode("fig9")
+	var fe *FieldError
+	if !errors.As(err, &fe) || fe.Field != "GVT" {
+		t.Fatalf("want GVT FieldError for unknown mode, got %v", err)
+	}
+	// Modes round-trip through their String form.
+	for _, m := range []GVTMode{GVTHostMattern, GVTNIC, GVTPGVT} {
+		got, err := ParseGVTMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseGVTMode(%v.String()) = %v, %v", m, got, err)
+		}
+	}
+}

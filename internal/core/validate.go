@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FieldError reports one invalid Config field. It is the typed form of the
+// errors Config.Validate returns, so CLIs can point the user at the exact
+// flag (errors.As(&fe)) and list the accepted values instead of failing
+// with an opaque message — or, worse, silently running nothing.
+type FieldError struct {
+	// Field is the Config field name ("GVT", "Nodes", "App", …).
+	Field string
+	// Value is the rejected value as supplied.
+	Value interface{}
+	// Reason says why the value is invalid, including the accepted values
+	// or the conflicting field where that is the whole story.
+	Reason string
+}
+
+// Error implements error.
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("config: field %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// gvtModeNames maps the CLI spellings to GVT modes. Keep in sync with
+// GVTMode.String, which these names round-trip through.
+var gvtModeNames = map[string]GVTMode{
+	"mattern": GVTHostMattern,
+	"nic":     GVTNIC,
+	"nic-gvt": GVTNIC,
+	"pgvt":    GVTPGVT,
+}
+
+// GVTModeNames returns the accepted -gvt spellings, sorted.
+func GVTModeNames() []string {
+	names := make([]string, 0, len(gvtModeNames))
+	for n := range gvtModeNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseGVTMode resolves a CLI spelling ("mattern", "nic", "pgvt") to a GVT
+// mode. Unknown names return a *FieldError listing the accepted values.
+func ParseGVTMode(s string) (GVTMode, error) {
+	if m, ok := gvtModeNames[strings.ToLower(strings.TrimSpace(s))]; ok {
+		return m, nil
+	}
+	return 0, &FieldError{
+		Field:  "GVT",
+		Value:  s,
+		Reason: "unknown GVT mode (want " + strings.Join(GVTModeNames(), ", ") + ")",
+	}
+}

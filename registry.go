@@ -1,0 +1,162 @@
+package nicwarp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nicwarp/internal/runner"
+	"nicwarp/internal/stats"
+)
+
+// Experiment is one named entry of the evaluation suite: a figure of the
+// paper or an ablation from DESIGN.md. An experiment separates *what to
+// run* (Jobs: a flat batch of independent points for internal/runner) from
+// *how to present it* (Render: fold the point results back into the
+// figure's table), so any executor — the serial loop, the parallel pool, a
+// cache-warm replay — produces byte-identical tables from the same opts.
+type Experiment struct {
+	// Name is the stable CLI name ("fig4", "abl-nic-speed") resolved by
+	// cmd/experiments -only and ExperimentByName.
+	Name string
+	// Output is the results file stem ("figure4_raid_gvt" →
+	// figure4_raid_gvt.txt/.csv under -out).
+	Output string
+	// Description is a one-line summary shown in listings and progress
+	// headers.
+	Description string
+	// Jobs expands the experiment into its experiment points. The batch
+	// order is part of the experiment's definition: Render consumes
+	// results positionally, in this exact order.
+	Jobs func(opts FigureOpts) []runner.Job
+	// Render folds the point results (in Jobs order, as returned by
+	// runner.Runner.Run) into the experiment's table. It fails on the
+	// first errored point, naming it.
+	Render func(opts FigureOpts, results []runner.Result) (*stats.Table, error)
+}
+
+// Experiments returns the full registry, in suite order: the paper's
+// figures first, then the ablations. The slice is freshly allocated;
+// callers may reorder or filter it.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{
+			Name:        "fig4",
+			Output:      "figure4_raid_gvt",
+			Description: "Figure 4: RAID execution time vs GVT period (WARPED vs NIC-GVT)",
+			Jobs: func(opts FigureOpts) []runner.Job {
+				o := opts.withDefaults()
+				return gvtSweepJobs("fig4", func() App { return RAID(RAIDGVTConfig(o.scaled(20000))) }, o)
+			},
+			Render: renderGVT,
+		},
+		{
+			Name:        "fig5",
+			Output:      "figure5_police_gvt",
+			Description: "Figure 5: POLICE execution time and GVT rounds vs GVT period",
+			Jobs: func(opts FigureOpts) []runner.Job {
+				o := opts.withDefaults()
+				return gvtSweepJobs("fig5", func() App { return Police(PoliceConfig(o.scaled(900))) }, o)
+			},
+			Render: renderGVT,
+		},
+		{
+			Name:        "fig6",
+			Output:      "figure6_raid_cancel",
+			Description: "Figure 6: RAID early cancellation vs request count",
+			Jobs: func(opts FigureOpts) []runner.Job {
+				o := opts.withDefaults()
+				return cancelSweepJobs("fig6", func(x int) App { return RAID(RAIDCancelConfig(x)) }, raidCancelXs(o), o)
+			},
+			Render: renderCancel("requests", raidCancelXs),
+		},
+		{
+			Name:        "fig78",
+			Output:      "figure7_8_police_cancel",
+			Description: "Figures 7 and 8: POLICE early cancellation vs station count",
+			Jobs: func(opts FigureOpts) []runner.Job {
+				o := opts.withDefaults()
+				return cancelSweepJobs("fig78", func(x int) App { return Police(PoliceConfig(x)) }, policeCancelXs(o), o)
+			},
+			Render: renderCancel("stations", policeCancelXs),
+		},
+	}
+	for _, a := range ablationDefs() {
+		exps = append(exps, a.experiment())
+	}
+	return exps
+}
+
+// AblationNames returns the names of the ablation experiments, in suite
+// order. cmd/experiments expands the "ablations" alias through it.
+func AblationNames() []string {
+	var names []string
+	for _, a := range ablationDefs() {
+		names = append(names, a.name)
+	}
+	return names
+}
+
+// ExperimentNames returns every registered experiment name, in suite order.
+func ExperimentNames() []string {
+	var names []string
+	for _, e := range Experiments() {
+		names = append(names, e.Name)
+	}
+	return names
+}
+
+// ExperimentByName resolves a registry name. Unknown names — the silent
+// no-op class of bug that -only fig9 used to be — return an error listing
+// every valid name.
+func ExperimentByName(name string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	valid := ExperimentNames()
+	sort.Strings(valid)
+	return Experiment{}, fmt.Errorf("unknown experiment %q (valid: %s, or the alias %q)",
+		name, strings.Join(valid, ", "), "ablations")
+}
+
+// renderGVT renders a GVT-sweep experiment (Figures 4 and 5).
+func renderGVT(_ FigureOpts, results []runner.Result) (*stats.Table, error) {
+	rows, err := foldGVTRows(results)
+	if err != nil {
+		return nil, err
+	}
+	return GVTTable(rows), nil
+}
+
+// renderCancel renders a cancellation-sweep experiment (Figures 6, 7, 8)
+// with the given x-axis name.
+func renderCancel(xName string, xs func(FigureOpts) []int) func(FigureOpts, []runner.Result) (*stats.Table, error) {
+	return func(opts FigureOpts, results []runner.Result) (*stats.Table, error) {
+		rows, err := foldCancelRows(xs(opts.withDefaults()), results)
+		if err != nil {
+			return nil, err
+		}
+		return CancelTable(rows, xName), nil
+	}
+}
+
+// raidCancelXs is Figure 6's x-axis (request counts) under opts scaling.
+func raidCancelXs(o FigureOpts) []int {
+	xs := make([]int, len(RAIDRequestCounts))
+	for i, r := range RAIDRequestCounts {
+		xs[i] = o.scaled(r)
+	}
+	return xs
+}
+
+// policeCancelXs is Figures 7/8's x-axis (station counts) under opts
+// scaling.
+func policeCancelXs(o FigureOpts) []int {
+	xs := make([]int, len(PoliceStations))
+	for i, s := range PoliceStations {
+		xs[i] = o.scaled(s)
+	}
+	return xs
+}

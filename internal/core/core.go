@@ -212,10 +212,31 @@ type node struct {
 	idleNotified         bool
 	numObjects           int // local simulation objects (cost scaling)
 
+	// sendBatches queues the Remote slices of finished kernel steps for the
+	// CPU jobs that transmit them. The CPU resource completes jobs in
+	// submission order, so a FIFO ring pairs each nodeSendBatch job with
+	// the batch pushed when it was submitted — no per-step closure.
+	sendBatches [][]*timewarp.Event
+	batchHead   int
+	// inbox pairs inbound packets with their rx-slot release callbacks for
+	// the DMA + absorb pipeline (same FIFO-completion argument: the bus and
+	// the CPU each preserve submission order).
+	inbox     []inboundPkt
+	inboxHead int
+	// scratchEv is the reused decode target for inbound event packets; the
+	// kernel copies at the Deliver boundary.
+	scratchEv timewarp.Event
+
 	// Per-node message accounting.
 	eventsBuilt     stats.Counter // event-like packets built by the host
 	antisBuilt      stats.Counter // anti-message packets built by the host
 	antisSuppressed stats.Counter // antis suppressed against the drop buffer
+}
+
+// inboundPkt is one packet crossing the NIC-to-host pipeline.
+type inboundPkt struct {
+	pkt  *proto.Packet
+	done func()
 }
 
 // view adapts a node to gvt.Host.
@@ -260,8 +281,36 @@ type Cluster struct {
 	gvtFW    []*firmware.GVTFirmware    // per node, when GVTNIC
 	cancelFW []*firmware.CancelFirmware // per node, when EarlyCancel
 
+	// pktFree recycles event/anti packets: acquired in transmitEvent (which
+	// fully overwrites every field) and released when the destination host
+	// has decoded them. Control packets and broadcast clones are allocated
+	// fresh and simply feed the pool once they pass through hostReceive's
+	// event path — never, in practice, since only event kinds are released.
+	pktFree []*proto.Packet
+
 	finalGVT vtime.VTime
 	samples  []Sample
+}
+
+// allocPacket takes a packet from the free list, or allocates one. The
+// caller must overwrite every field.
+func (cl *Cluster) allocPacket() *proto.Packet {
+	if n := len(cl.pktFree); n > 0 {
+		p := cl.pktFree[n-1]
+		cl.pktFree[n-1] = nil
+		cl.pktFree = cl.pktFree[:n-1]
+		return p
+	}
+	return &proto.Packet{}
+}
+
+// releasePacket returns a packet to the free list. The caller guarantees no
+// layer still references it: event/anti packets are released only after the
+// destination host decoded them into a kernel event, and every intermediate
+// layer (BIP, MPICH, GVT managers, NIC firmware) reads inbound packets
+// without retaining them.
+func (cl *Cluster) releasePacket(p *proto.Packet) {
+	cl.pktFree = append(cl.pktFree, p)
 }
 
 // NewCluster assembles (but does not run) an experiment.
@@ -469,22 +518,26 @@ func (n *node) pump() {
 	n.loopActive = true
 	c := n.cpu.Costs
 	cost := c.EventGrain + c.KernelOverhead + c.HistPenalty(n.kernel.HistoryEvents())
-	n.cpu.Do(hostmodel.CatEvent, cost, func() {
-		n.loopActive = false
-		// The event this job was dispatched for can vanish while the job
-		// waits its turn (an anti-message annihilated it); the host then
-		// paid the dispatch for nothing, which is exactly what happens on
-		// real hardware.
-		if !n.kernel.HasWork() {
-			n.pump()
-			return
-		}
-		res := n.kernel.ProcessOne()
-		n.cluster.noteProcessed()
-		n.mgr.OnProcessed(view{n})
-		n.finishStep(res, hostmodel.CatEvent)
+	n.cpu.DoArg(hostmodel.CatEvent, cost, nodePumpStep, n)
+}
+
+// nodePumpStep is the main-loop CPU job: execute one kernel event.
+func nodePumpStep(x interface{}) {
+	n := x.(*node)
+	n.loopActive = false
+	// The event this job was dispatched for can vanish while the job
+	// waits its turn (an anti-message annihilated it); the host then
+	// paid the dispatch for nothing, which is exactly what happens on
+	// real hardware.
+	if !n.kernel.HasWork() {
 		n.pump()
-	})
+		return
+	}
+	res := n.kernel.ProcessOne()
+	n.cluster.noteProcessed()
+	n.mgr.OnProcessed(view{n})
+	n.finishStep(res, hostmodel.CatEvent)
+	n.pump()
 }
 
 // finishStep charges the communication and rollback costs of a kernel step
@@ -502,12 +555,44 @@ func (n *node) finishStep(res timewarp.StepResult, cat hostmodel.Category) {
 	if res.Rollbacks > 0 {
 		cat = hostmodel.CatRollback
 	}
-	n.cpu.Do(cat, cost, func() {
-		for _, ev := range outbound {
-			n.transmitEvent(ev)
+	n.pushBatch(outbound)
+	n.cpu.DoArg(cat, cost, nodeSendBatch, n)
+}
+
+// nodeSendBatch is the CPU job paired (FIFO) with one pushed batch: transmit
+// its events and re-arm the main loop.
+func nodeSendBatch(x interface{}) {
+	n := x.(*node)
+	for _, ev := range n.popBatch() {
+		n.transmitEvent(ev)
+	}
+	n.pump()
+}
+
+// pushBatch appends to the outbound ring, compacting the consumed prefix in
+// place before the slice would grow.
+func (n *node) pushBatch(batch []*timewarp.Event) {
+	if len(n.sendBatches) == cap(n.sendBatches) && n.batchHead > 0 {
+		m := copy(n.sendBatches, n.sendBatches[n.batchHead:])
+		for i := m; i < len(n.sendBatches); i++ {
+			n.sendBatches[i] = nil
 		}
-		n.pump()
-	})
+		n.sendBatches = n.sendBatches[:m]
+		n.batchHead = 0
+	}
+	n.sendBatches = append(n.sendBatches, batch)
+}
+
+// popBatch removes and returns the oldest outbound batch.
+func (n *node) popBatch() []*timewarp.Event {
+	b := n.sendBatches[n.batchHead]
+	n.sendBatches[n.batchHead] = nil
+	n.batchHead++
+	if n.batchHead == len(n.sendBatches) {
+		n.sendBatches = n.sendBatches[:0]
+		n.batchHead = 0
+	}
+	return b
 }
 
 // filterSuppressed is where the paper suppresses anti-messages on the host
@@ -527,14 +612,17 @@ func (n *node) filterSuppressed(events []*timewarp.Event) (out []*timewarp.Event
 }
 
 // transmitEvent converts a kernel event into a packet and pushes it down
-// the stack. The send overhead was charged by finishStep.
+// the stack. The send overhead was charged by finishStep. The packet comes
+// from the cluster pool (fully overwritten here) and the kernel event goes
+// back to the kernel pool once its fields are copied out.
 func (n *node) transmitEvent(ev *timewarp.Event) {
 	kind := proto.KindEvent
 	if ev.Sign < 0 {
 		kind = proto.KindAnti
 		n.antisBuilt.Inc()
 	}
-	pkt := &proto.Packet{
+	pkt := n.cluster.allocPacket()
+	*pkt = proto.Packet{
 		Kind:           kind,
 		SrcNode:        int32(n.id),
 		DstNode:        int32(n.cluster.home[ev.Dst]),
@@ -546,6 +634,7 @@ func (n *node) transmitEvent(ev *timewarp.Event) {
 		Payload:        ev.Payload,
 		PiggyAntiEpoch: n.remoteAntisDelivered,
 	}
+	n.kernel.Recycle(ev)
 	n.eventsBuilt.Inc()
 	n.mgr.OnSent(view{n}, pkt)
 	n.flow.Send(pkt)
@@ -570,14 +659,52 @@ func (n *node) bipTransmit(pkt *proto.Packet) {
 // the NIC receive slot once the host has consumed the packet, which is what
 // propagates host congestion back through the fabric to the sender.
 func (n *node) nicDeliver(pkt *proto.Packet, done func()) {
-	n.bus.DMA(pkt.EncodedSize(), func() {
-		c := n.cpu.Costs
-		n.cpu.Do(hostmodel.CatComm, c.InterruptOverhead+c.RecvOverhead, func() {
-			n.hostReceive(pkt)
-			done()
-			n.pump()
-		})
-	})
+	n.pushInbound(inboundPkt{pkt: pkt, done: done})
+	n.bus.DMAArg(pkt.EncodedSize(), nodeInboundDMADone, n)
+}
+
+// nodeInboundDMADone: the NIC-to-host DMA finished; charge the interrupt and
+// protocol costs, then absorb. The bus and CPU are FIFO resources, so the
+// absorb job pops exactly the packet pushed for it.
+func nodeInboundDMADone(x interface{}) {
+	n := x.(*node)
+	c := n.cpu.Costs
+	n.cpu.DoArg(hostmodel.CatComm, c.InterruptOverhead+c.RecvOverhead, nodeAbsorbPacket, n)
+}
+
+// nodeAbsorbPacket integrates the oldest DMAed packet on the host.
+func nodeAbsorbPacket(x interface{}) {
+	n := x.(*node)
+	in := n.popInbound()
+	n.hostReceive(in.pkt)
+	in.done()
+	n.pump()
+}
+
+// pushInbound appends to the inbound ring, compacting the consumed prefix in
+// place before the slice would grow.
+func (n *node) pushInbound(in inboundPkt) {
+	if len(n.inbox) == cap(n.inbox) && n.inboxHead > 0 {
+		m := copy(n.inbox, n.inbox[n.inboxHead:])
+		for i := m; i < len(n.inbox); i++ {
+			n.inbox[i] = inboundPkt{}
+		}
+		n.inbox = n.inbox[:m]
+		n.inboxHead = 0
+	}
+	n.inbox = append(n.inbox, in)
+}
+
+// popInbound removes and returns the oldest inbound packet.
+func (n *node) popInbound() inboundPkt {
+	in := n.inbox[n.inboxHead]
+	n.inbox[n.inboxHead] = inboundPkt{}
+	n.inboxHead++
+	if n.inboxHead == len(n.inbox) {
+		n.inbox = n.inbox[:0]
+		n.inboxHead = 0
+	}
+	return in
 }
 
 // nicNotify is wired into the NIC: a doorbell crosses the bus and interrupts
@@ -648,7 +775,7 @@ func (n *node) hostReceive(pkt *proto.Packet) {
 			n.remoteAntisDelivered++
 		}
 		n.mgr.OnReceived(view{n}, pkt)
-		ev := &timewarp.Event{
+		n.scratchEv = timewarp.Event{
 			ID:      pkt.EventID,
 			Src:     timewarp.ObjectID(pkt.SrcObj),
 			Dst:     timewarp.ObjectID(pkt.DstObj),
@@ -657,7 +784,11 @@ func (n *node) hostReceive(pkt *proto.Packet) {
 			Sign:    pkt.Sign(),
 			Payload: pkt.Payload,
 		}
-		res := n.kernel.Deliver(ev)
+		res := n.kernel.Deliver(&n.scratchEv)
+		// The packet is fully decoded and no layer retained it; only
+		// event kinds are released — control packets can be captured by
+		// deferred GVT work.
+		n.cluster.releasePacket(pkt)
 		n.finishStep(res, hostmodel.CatComm)
 	case proto.KindGVTControl:
 		c := n.cpu.Costs

@@ -8,6 +8,12 @@
 // not about exploiting host parallelism in the reproduction; a sequential
 // deterministic engine makes every experiment exactly reproducible and lets
 // the test suite assert bit-identical metrics across runs.
+//
+// Sequential execution also means the engine needs no synchronization for
+// memory reuse: fired and cancelled events go on an intrusive per-engine
+// free list, so steady-state scheduling allocates nothing. Callers on hot
+// paths use ScheduleArg/AtArg, which thread a value receiver through the
+// event instead of capturing a closure.
 package des
 
 import (
@@ -17,12 +23,17 @@ import (
 	"nicwarp/internal/vtime"
 )
 
-// event is one scheduled callback.
+// event is one scheduled callback. Fired and cancelled events are recycled
+// through the engine's free list; seq doubles as a generation counter so a
+// stale Timer handle can never cancel the event's next incarnation.
 type event struct {
-	at  vtime.ModelTime
-	seq uint64 // FIFO tie-break among equal times
-	fn  func()
-	idx int // heap index, -1 when popped/cancelled
+	at    vtime.ModelTime
+	seq   uint64 // FIFO tie-break among equal times; unique per incarnation
+	fn    func()
+	fnArg func(interface{}) // closure-free variant; fn and fnArg are exclusive
+	arg   interface{}
+	idx   int    // heap index, -1 when popped/cancelled
+	next  *event // free-list link, nil while scheduled
 }
 
 // eventHeap orders events by (time, seq).
@@ -56,22 +67,27 @@ func (h *eventHeap) Pop() interface{} {
 }
 
 // Timer is a handle to a scheduled callback that can be cancelled before it
-// fires.
+// fires. The handle records the event's generation (its seq), so a Timer
+// kept past its event's firing is inert even after the engine recycles the
+// event for an unrelated callback.
 type Timer struct {
 	ev     *event
 	eng    *Engine
+	seq    uint64
 	cancel bool
 }
 
 // Cancel prevents the timer's callback from running. Cancelling an already
 // fired or cancelled timer is a no-op. Reports whether the cancellation took
-// effect.
+// effect. The cancelled event is recycled immediately, dropping its callback
+// so the handle cannot pin captured state.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.cancel || t.ev.idx < 0 {
+	if t == nil || t.cancel || t.ev.seq != t.seq || t.ev.idx < 0 {
 		return false
 	}
 	t.cancel = true
 	heap.Remove(&t.eng.heap, t.ev.idx)
+	t.eng.recycle(t.ev)
 	return true
 }
 
@@ -86,6 +102,7 @@ type Engine struct {
 	seq       uint64
 	running   bool
 	processed uint64
+	free      *event // intrusive free list of recycled events
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -103,6 +120,32 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of scheduled, uncancelled callbacks.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// alloc takes an event from the free list, or allocates one.
+func (e *Engine) alloc(t vtime.ModelTime) *event {
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &event{}
+	}
+	e.seq++
+	ev.at = t
+	ev.seq = e.seq
+	return ev
+}
+
+// recycle clears an event's callback state and returns it to the free list.
+// Clearing fn/fnArg/arg here is what guarantees a fired or cancelled event
+// never pins a captured closure or threaded receiver.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.fnArg = nil
+	ev.arg = nil
+	ev.next = e.free
+	e.free = ev
+}
+
 // Schedule runs fn after delay d (which may be zero but not negative) and
 // returns a cancelable handle. Callbacks at the same instant run in
 // scheduling order.
@@ -115,16 +158,43 @@ func (e *Engine) Schedule(d vtime.ModelTime, fn func()) *Timer {
 
 // At runs fn at absolute model time t, which must not be in the past.
 func (e *Engine) At(t vtime.ModelTime, fn func()) *Timer {
-	if t < e.now {
-		panic(fmt.Sprintf("des: At(%v) is before now (%v)", t, e.now))
-	}
 	if fn == nil {
 		panic("des: nil callback")
 	}
-	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.at(t)
+	ev.fn = fn
+	return &Timer{ev: ev, eng: e, seq: ev.seq}
+}
+
+// ScheduleArg runs fn(arg) after delay d. Unlike Schedule it captures no
+// closure and returns no Timer, so steady-state callers allocate nothing:
+// fn should be a top-level function and arg a pointer threaded through as
+// the receiver.
+func (e *Engine) ScheduleArg(d vtime.ModelTime, fn func(interface{}), arg interface{}) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: ScheduleArg with negative delay %v", d))
+	}
+	e.AtArg(e.now+d, fn, arg)
+}
+
+// AtArg runs fn(arg) at absolute model time t. See ScheduleArg.
+func (e *Engine) AtArg(t vtime.ModelTime, fn func(interface{}), arg interface{}) {
+	if fn == nil {
+		panic("des: nil callback")
+	}
+	ev := e.at(t)
+	ev.fnArg = fn
+	ev.arg = arg
+}
+
+// at validates t and pushes a fresh event for it.
+func (e *Engine) at(t vtime.ModelTime) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("des: At(%v) is before now (%v)", t, e.now))
+	}
+	ev := e.alloc(t)
 	heap.Push(&e.heap, ev)
-	return &Timer{ev: ev, eng: e}
+	return ev
 }
 
 // Run executes callbacks in time order until the event list is empty or the
@@ -144,11 +214,7 @@ func (e *Engine) Run(limit vtime.ModelTime) vtime.ModelTime {
 		heap.Pop(&e.heap)
 		e.now = next.at
 		e.processed++
-		fn := next.fn
-		next.fn = nil
-		// Mark any timer pointing here as fired via the idx sentinel;
-		// Timer.Cancel checks idx < 0.
-		fn()
+		e.fire(next)
 	}
 	return e.now
 }
@@ -162,6 +228,19 @@ func (e *Engine) Step() bool {
 	next := heap.Pop(&e.heap).(*event)
 	e.now = next.at
 	e.processed++
-	next.fn()
+	e.fire(next)
 	return true
+}
+
+// fire recycles the popped event and invokes its callback. Recycling first
+// lets the callback's own scheduling reuse the slot, and bumps the seq
+// generation so stale Timer handles see a mismatch.
+func (e *Engine) fire(ev *event) {
+	fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
+	e.recycle(ev)
+	if fnArg != nil {
+		fnArg(arg)
+	} else {
+		fn()
+	}
 }

@@ -7,6 +7,14 @@ import (
 	"nicwarp/internal/vtime"
 )
 
+// doneEntry is one queued completion callback: either a plain closure or a
+// closure-free (fn, arg) pair. Both nil means fire-and-forget.
+type doneEntry struct {
+	fn    func()
+	fnArg func(interface{})
+	arg   interface{}
+}
+
 // Resource models a single-server FIFO hardware resource: a host CPU, a NIC
 // processor, a DMA engine on an I/O bus, or a link serializer. Work is
 // submitted as (cost, completion) pairs; jobs occupy the server back to back
@@ -19,6 +27,13 @@ type Resource struct {
 
 	busyUntil vtime.ModelTime
 	inFlight  int
+
+	// Completion callbacks, FIFO. Jobs provably complete in submission
+	// order — busyUntil is monotone, so finish times are non-decreasing,
+	// and the engine breaks finish-time ties in scheduling order — which
+	// is what lets one shared ring replace a per-job closure.
+	doneQ    []doneEntry
+	doneHead int
 
 	// Metrics.
 	Busy    stats.BusyTime // integrated service time
@@ -52,6 +67,17 @@ func (r *Resource) InFlight() int { return r.inFlight }
 // runs at the job's completion time. Jobs complete in submission order.
 // Returns the completion time.
 func (r *Resource) Submit(cost vtime.ModelTime, done func()) vtime.ModelTime {
+	return r.submit(cost, doneEntry{fn: done})
+}
+
+// SubmitArg is the closure-free Submit: at completion fn(arg) runs. fn
+// should be a top-level function and arg a threaded receiver, so hot callers
+// allocate nothing per job.
+func (r *Resource) SubmitArg(cost vtime.ModelTime, fn func(interface{}), arg interface{}) vtime.ModelTime {
+	return r.submit(cost, doneEntry{fnArg: fn, arg: arg})
+}
+
+func (r *Resource) submit(cost vtime.ModelTime, done doneEntry) vtime.ModelTime {
 	if cost < 0 {
 		panic(fmt.Sprintf("des: Submit with negative cost on %s", r.name))
 	}
@@ -63,15 +89,51 @@ func (r *Resource) Submit(cost vtime.ModelTime, done func()) vtime.ModelTime {
 	r.Queue.Set(int64(r.inFlight))
 	r.Busy.AddInterval(cost)
 	r.WaitAvg.Observe(float64(start - now))
-	r.eng.At(finish, func() {
-		r.inFlight--
-		r.Queue.Set(int64(r.inFlight))
-		r.Jobs.Inc()
-		if done != nil {
-			done()
-		}
-	})
+	r.pushDone(done)
+	r.eng.AtArg(finish, resourceComplete, r)
 	return finish
+}
+
+// resourceComplete is the shared completion trampoline: the oldest queued
+// job on the resource finishes now.
+func resourceComplete(x interface{}) {
+	r := x.(*Resource)
+	d := r.popDone()
+	r.inFlight--
+	r.Queue.Set(int64(r.inFlight))
+	r.Jobs.Inc()
+	switch {
+	case d.fnArg != nil:
+		d.fnArg(d.arg)
+	case d.fn != nil:
+		d.fn()
+	}
+}
+
+// pushDone appends to the completion ring, compacting the consumed prefix
+// in place before the slice would grow.
+func (r *Resource) pushDone(d doneEntry) {
+	if len(r.doneQ) == cap(r.doneQ) && r.doneHead > 0 {
+		n := copy(r.doneQ, r.doneQ[r.doneHead:])
+		for i := n; i < len(r.doneQ); i++ {
+			r.doneQ[i] = doneEntry{}
+		}
+		r.doneQ = r.doneQ[:n]
+		r.doneHead = 0
+	}
+	r.doneQ = append(r.doneQ, d)
+}
+
+// popDone removes and returns the oldest completion entry.
+func (r *Resource) popDone() doneEntry {
+	d := r.doneQ[r.doneHead]
+	r.doneQ[r.doneHead] = doneEntry{}
+	r.doneHead++
+	if r.doneHead == len(r.doneQ) {
+		r.doneQ = r.doneQ[:0]
+		r.doneHead = 0
+	}
+	return d
 }
 
 // Utilization returns the fraction of elapsed model time this resource was

@@ -170,6 +170,19 @@ func NewCPU(eng *des.Engine, node int, costs CostTable) *CPU {
 // Do charges cost on the CPU under the given category and runs done at
 // completion.
 func (c *CPU) Do(cat Category, cost vtime.ModelTime, done func()) {
+	c.charge(cat, cost)
+	c.res.Submit(cost, done)
+}
+
+// DoArg is the closure-free Do: at completion fn(arg) runs. fn should be a
+// top-level function and arg a threaded receiver, so steady-state callers
+// allocate nothing per job.
+func (c *CPU) DoArg(cat Category, cost vtime.ModelTime, fn func(interface{}), arg interface{}) {
+	c.charge(cat, cost)
+	c.res.SubmitArg(cost, fn, arg)
+}
+
+func (c *CPU) charge(cat Category, cost vtime.ModelTime) {
 	switch cat {
 	case CatEvent:
 		c.EventWork.AddInterval(cost)
@@ -182,7 +195,6 @@ func (c *CPU) Do(cat Category, cost vtime.ModelTime, done func()) {
 	default:
 		panic(fmt.Sprintf("hostmodel: unknown category %d", cat))
 	}
-	c.res.Submit(cost, done)
 }
 
 // Idle reports whether the CPU has no queued work.

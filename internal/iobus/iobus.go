@@ -75,6 +75,18 @@ func (b *Bus) DMA(size int, done func()) {
 	b.res.Submit(cost, done)
 }
 
+// DMAArg is the closure-free DMA: at completion fn(arg) runs. See
+// des.Resource.SubmitArg for the calling convention.
+func (b *Bus) DMAArg(size int, fn func(interface{}), arg interface{}) {
+	if size < 0 {
+		panic("iobus: negative transfer size")
+	}
+	cost := b.cfg.DMASetup + vtime.TransferTime(size, b.cfg.Bandwidth)
+	b.Transfers.Inc()
+	b.Bytes.Add(int64(size))
+	b.res.SubmitArg(cost, fn, arg)
+}
+
 // Word queues a small control-word transfer (shared-memory flag write,
 // doorbell). It pays only the setup cost; used for the host/NIC handshakes
 // the paper implements through the "global buffer shared between the host

@@ -141,10 +141,13 @@ type API interface {
 	// Charge accounts n extra NIC processor cycles to the current hook.
 	Charge(n int64)
 	// SendQueue returns the packets queued for transmission and not yet
-	// in flight. The slice is live; use RemoveFromSendQueue to mutate.
+	// in flight. The returned slice is scratch reused by the next
+	// SendQueue call — read it within the hook, never retain it; use
+	// RemoveFromSendQueue to mutate the queue.
 	SendQueue() []*proto.Packet
 	// RemoveFromSendQueue removes every queued packet matching pred and
-	// returns the removed packets in queue order.
+	// returns the removed packets in queue order. The returned slice is
+	// scratch reused by the next call; consume it within the hook.
 	RemoveFromSendQueue(pred func(*proto.Packet) bool) []*proto.Packet
 	// Inject queues a NIC-generated packet for transmission. Injected
 	// packets do not pass through OnHostSend.
@@ -200,16 +203,34 @@ type NIC struct {
 	// peer resolves another node's NIC for backpressure accounting.
 	peer func(node int) *NIC
 
+	// sendQ/recvQ are head-indexed FIFO rings: live entries start at the
+	// head index, and the consumed prefix is compacted in place before the
+	// slice would grow, so steady-state queueing allocates nothing.
 	sendQ     []outEntry
+	sendHead  int
 	recvQ     []*proto.Packet
+	recvHead  int
 	txPumping bool
 	rxPumping bool
 	txStalled bool // head-of-line blocked on a full destination
+
+	// In-flight pump state. txPumping/rxPumping guarantee at most one
+	// packet per pump stage, so these fields (with the SubmitArg
+	// trampolines below) replace per-packet completion closures.
+	txEntry   outEntry
+	txVerdict Verdict
+	rxPkt     *proto.Packet
+	rxVerdict Verdict
+
+	releaseRxFn func() // n.releaseRx as a once-allocated func value
 
 	rxHeld    int      // reserved rx slots: in flight + queued + at host
 	rxWaiters []func() // senders waiting for an rx slot
 
 	pendingCycles int64 // accumulated via API.Charge during a hook
+
+	sqScratch []*proto.Packet // reused by API.SendQueue
+	rmScratch []*proto.Packet // reused by API.RemoveFromSendQueue
 
 	Stats Stats
 }
@@ -232,6 +253,7 @@ func New(eng *des.Engine, node int, cfg Config, fabric *simnet.Fabric, fw Firmwa
 		fw:     fw,
 		shared: NewSharedWindow(),
 	}
+	n.releaseRxFn = n.releaseRx
 	fabric.Attach(node, n.wireReceive)
 	return n
 }
@@ -295,11 +317,17 @@ func (n *NIC) ProcUtilization() float64 { return n.proc.Utilization() }
 
 // Idle reports whether the NIC has no queued or in-flight work.
 func (n *NIC) Idle() bool {
-	return len(n.sendQ) == 0 && len(n.recvQ) == 0 && n.proc.Idle() && n.tx.Idle()
+	return n.sendLen() == 0 && n.recvLen() == 0 && n.proc.Idle() && n.tx.Idle()
 }
 
 // SendQueueLen returns the current transmit backlog (for tests).
-func (n *NIC) SendQueueLen() int { return len(n.sendQ) }
+func (n *NIC) SendQueueLen() int { return n.sendLen() }
+
+// sendLen returns the live transmit-queue depth.
+func (n *NIC) sendLen() int { return len(n.sendQ) - n.sendHead }
+
+// recvLen returns the live receive-queue depth.
+func (n *NIC) recvLen() int { return len(n.recvQ) - n.recvHead }
 
 // HostEnqueue accepts a packet whose host-to-NIC DMA just completed.
 func (n *NIC) HostEnqueue(pkt *proto.Packet) {
@@ -308,12 +336,32 @@ func (n *NIC) HostEnqueue(pkt *proto.Packet) {
 
 // enqueue adds to the transmit queue and starts the pump.
 func (n *NIC) enqueue(e outEntry) {
-	if len(n.sendQ) >= n.cfg.SendQueueCap {
+	if n.sendLen() >= n.cfg.SendQueueCap {
 		n.Stats.SendQOverflow.Inc()
 	}
+	if len(n.sendQ) == cap(n.sendQ) && n.sendHead > 0 {
+		m := copy(n.sendQ, n.sendQ[n.sendHead:])
+		for i := m; i < len(n.sendQ); i++ {
+			n.sendQ[i] = outEntry{}
+		}
+		n.sendQ = n.sendQ[:m]
+		n.sendHead = 0
+	}
 	n.sendQ = append(n.sendQ, e)
-	n.Stats.SendQDepth.Set(int64(len(n.sendQ)))
+	n.Stats.SendQDepth.Set(int64(n.sendLen()))
 	n.txPump()
+}
+
+// popSend removes and returns the transmit-queue head.
+func (n *NIC) popSend() outEntry {
+	e := n.sendQ[n.sendHead]
+	n.sendQ[n.sendHead] = outEntry{}
+	n.sendHead++
+	if n.sendHead == len(n.sendQ) {
+		n.sendQ = n.sendQ[:0]
+		n.sendHead = 0
+	}
+	return e
 }
 
 // cycles converts a processor cycle count to model time at the NIC clock.
@@ -337,10 +385,10 @@ func (n *NIC) takeCharge() int64 {
 // backpressure — and the backlog accumulates here, in the send queue,
 // where the early-cancellation firmware can reach it.
 func (n *NIC) txPump() {
-	if n.txPumping || n.txStalled || len(n.sendQ) == 0 {
+	if n.txPumping || n.txStalled || n.sendLen() == 0 {
 		return
 	}
-	head := n.sendQ[0]
+	head := n.sendQ[n.sendHead]
 	if gated(head.pkt.Kind) && head.pkt.DstNode >= 0 {
 		if n.peer == nil {
 			panic("nic: transmit before WirePeers")
@@ -356,27 +404,36 @@ func (n *NIC) txPump() {
 		}
 	}
 	n.txPumping = true
-	entry := n.sendQ[0]
-	n.sendQ = n.sendQ[1:]
-	n.Stats.SendQDepth.Set(int64(len(n.sendQ)))
+	entry := n.popSend()
+	n.Stats.SendQDepth.Set(int64(n.sendLen()))
 
 	verdict := VerdictForward
 	if !entry.fromNIC {
 		verdict = n.fw.OnHostSend(entry.pkt, apiImpl{n})
 	}
+	// txPumping covers both transmit stages (processor, then serializer), so
+	// the in-flight entry rides on the NIC struct instead of a closure.
+	n.txEntry = entry
+	n.txVerdict = verdict
 	cost := n.cycles(n.cfg.SendCycles + n.takeCharge())
-	n.proc.Submit(cost, func() {
-		switch verdict {
-		case VerdictForward:
-			n.transmit(entry)
-		case VerdictConsume, VerdictDrop:
-			// The reserved slot at the destination is never used.
-			n.unreserve(entry.pkt)
-			n.txDone()
-		default:
-			panic(fmt.Sprintf("nic: bad send verdict %v", verdict))
-		}
-	})
+	n.proc.SubmitArg(cost, nicTxProcessed, n)
+}
+
+// nicTxProcessed is the processor-stage completion for the transmit pump.
+func nicTxProcessed(x interface{}) {
+	n := x.(*NIC)
+	switch n.txVerdict {
+	case VerdictForward:
+		n.transmit()
+	case VerdictConsume, VerdictDrop:
+		// The reserved slot at the destination is never used.
+		pkt := n.txEntry.pkt
+		n.txEntry = outEntry{}
+		n.unreserve(pkt)
+		n.txDone()
+	default:
+		panic(fmt.Sprintf("nic: bad send verdict %v", n.txVerdict))
+	}
 }
 
 // unreserve returns the rx slot reserved for a packet that will not travel.
@@ -386,20 +443,26 @@ func (n *NIC) unreserve(pkt *proto.Packet) {
 	}
 }
 
-// transmit serializes the packet onto the wire and injects it into the
-// fabric, then continues the pump.
-func (n *NIC) transmit(entry outEntry) {
-	size := entry.pkt.EncodedSize()
+// transmit serializes the in-flight packet onto the wire and injects it into
+// the fabric, then continues the pump.
+func (n *NIC) transmit() {
+	size := n.txEntry.pkt.EncodedSize()
 	serialize := vtime.TransferTime(size, n.linkBandwidth())
-	n.tx.Submit(serialize, func() {
-		if entry.fromNIC {
-			n.Stats.NICTx.Inc()
-		} else {
-			n.Stats.HostTx.Inc()
-		}
-		n.fabric.Inject(n.node, entry.pkt)
-		n.txDone()
-	})
+	n.tx.SubmitArg(serialize, nicTxSerialized, n)
+}
+
+// nicTxSerialized is the wire-stage completion for the transmit pump.
+func nicTxSerialized(x interface{}) {
+	n := x.(*NIC)
+	entry := n.txEntry
+	n.txEntry = outEntry{}
+	if entry.fromNIC {
+		n.Stats.NICTx.Inc()
+	} else {
+		n.Stats.HostTx.Inc()
+	}
+	n.fabric.Inject(n.node, entry.pkt)
+	n.txDone()
 }
 
 // txDone re-arms the pump after a packet completes its NIC journey.
@@ -414,49 +477,74 @@ func (n *NIC) linkBandwidth() float64 { return n.fabric.LinkBandwidth() }
 
 // wireReceive accepts a packet delivered by the fabric.
 func (n *NIC) wireReceive(pkt *proto.Packet) {
+	if len(n.recvQ) == cap(n.recvQ) && n.recvHead > 0 {
+		m := copy(n.recvQ, n.recvQ[n.recvHead:])
+		for i := m; i < len(n.recvQ); i++ {
+			n.recvQ[i] = nil
+		}
+		n.recvQ = n.recvQ[:m]
+		n.recvHead = 0
+	}
 	n.recvQ = append(n.recvQ, pkt)
 	n.rxPump()
 }
 
+// noopDone is the delivery completion for packets that hold no rx slot.
+var noopDone = func() {}
+
 // rxPump drives the receive side: run firmware, then DMA to the host.
 func (n *NIC) rxPump() {
-	if n.rxPumping || len(n.recvQ) == 0 {
+	if n.rxPumping || n.recvLen() == 0 {
 		return
 	}
 	n.rxPumping = true
-	pkt := n.recvQ[0]
-	n.recvQ = n.recvQ[1:]
+	pkt := n.recvQ[n.recvHead]
+	n.recvQ[n.recvHead] = nil
+	n.recvHead++
+	if n.recvHead == len(n.recvQ) {
+		n.recvQ = n.recvQ[:0]
+		n.recvHead = 0
+	}
 
-	verdict := n.fw.OnWireReceive(pkt, apiImpl{n})
+	// rxPumping covers the processor stage, so the in-flight packet rides on
+	// the NIC struct instead of a closure.
+	n.rxPkt = pkt
+	n.rxVerdict = n.fw.OnWireReceive(pkt, apiImpl{n})
 	cost := n.cycles(n.cfg.RecvCycles + n.takeCharge())
-	n.proc.Submit(cost, func() {
-		switch verdict {
-		case VerdictForward:
-			n.Stats.RxDelivered.Inc()
-			if n.deliverToHost == nil {
-				panic("nic: receive before Wire")
-			}
-			if gated(pkt.Kind) {
-				n.deliverToHost(pkt, n.releaseRx)
-			} else {
-				n.deliverToHost(pkt, func() {})
-			}
-		case VerdictConsume:
-			n.Stats.RxConsumed.Inc()
-			if gated(pkt.Kind) {
-				n.releaseRx()
-			}
-		case VerdictDrop:
-			n.Stats.RxDropped.Inc()
-			if gated(pkt.Kind) {
-				n.releaseRx()
-			}
-		default:
-			panic(fmt.Sprintf("nic: bad receive verdict %v", verdict))
+	n.proc.SubmitArg(cost, nicRxProcessed, n)
+}
+
+// nicRxProcessed is the processor-stage completion for the receive pump.
+func nicRxProcessed(x interface{}) {
+	n := x.(*NIC)
+	pkt := n.rxPkt
+	n.rxPkt = nil
+	switch n.rxVerdict {
+	case VerdictForward:
+		n.Stats.RxDelivered.Inc()
+		if n.deliverToHost == nil {
+			panic("nic: receive before Wire")
 		}
-		n.rxPumping = false
-		n.rxPump()
-	})
+		if gated(pkt.Kind) {
+			n.deliverToHost(pkt, n.releaseRxFn)
+		} else {
+			n.deliverToHost(pkt, noopDone)
+		}
+	case VerdictConsume:
+		n.Stats.RxConsumed.Inc()
+		if gated(pkt.Kind) {
+			n.releaseRx()
+		}
+	case VerdictDrop:
+		n.Stats.RxDropped.Inc()
+		if gated(pkt.Kind) {
+			n.releaseRx()
+		}
+	default:
+		panic(fmt.Sprintf("nic: bad receive verdict %v", n.rxVerdict))
+	}
+	n.rxPumping = false
+	n.rxPump()
 }
 
 // Doorbell is called (through the modeled bus) when the host rings the NIC
@@ -481,17 +569,21 @@ func (a apiImpl) Charge(c int64) {
 }
 
 func (a apiImpl) SendQueue() []*proto.Packet {
-	out := make([]*proto.Packet, len(a.n.sendQ))
-	for i, e := range a.n.sendQ {
-		out[i] = e.pkt
+	n := a.n
+	out := n.sqScratch[:0]
+	for _, e := range n.sendQ[n.sendHead:] {
+		out = append(out, e.pkt)
 	}
+	n.sqScratch = out
 	return out
 }
 
 func (a apiImpl) RemoveFromSendQueue(pred func(*proto.Packet) bool) []*proto.Packet {
-	var removed []*proto.Packet
-	kept := a.n.sendQ[:0]
-	for _, e := range a.n.sendQ {
+	n := a.n
+	removed := n.rmScratch[:0]
+	live := n.sendQ[n.sendHead:]
+	kept := live[:0]
+	for _, e := range live {
 		if !e.fromNIC && pred(e.pkt) {
 			removed = append(removed, e.pkt)
 		} else {
@@ -499,11 +591,12 @@ func (a apiImpl) RemoveFromSendQueue(pred func(*proto.Packet) bool) []*proto.Pac
 		}
 	}
 	// Zero the tail so removed entries do not linger.
-	for i := len(kept); i < len(a.n.sendQ); i++ {
-		a.n.sendQ[i] = outEntry{}
+	for i := len(kept); i < len(live); i++ {
+		live[i] = outEntry{}
 	}
-	a.n.sendQ = kept
-	a.n.Stats.SendQDepth.Set(int64(len(a.n.sendQ)))
+	n.sendQ = n.sendQ[:n.sendHead+len(kept)]
+	n.rmScratch = removed
+	n.Stats.SendQDepth.Set(int64(n.sendLen()))
 	return removed
 }
 

@@ -1,0 +1,235 @@
+// Package perfbench is the per-point benchmark telemetry layer: it measures
+// wall time, allocation counts and GC activity around single experiment
+// points, parses `go test -bench -benchmem` output for before/after
+// comparisons, and renders benchstat-style tables.
+//
+// The package deliberately imports neither time nor os: the clock is
+// injected (Meter.Now), which keeps the simulator's walltime hygiene rule
+// mechanical — only cmd/ binaries touch the real clock — and file I/O stays
+// with the caller.
+package perfbench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Point is one measured experiment point: a full cluster run timed and
+// metered on the live process.
+type Point struct {
+	Name         string `json:"name"`
+	NsPerRun     int64  `json:"ns_per_run"`
+	AllocsPerRun uint64 `json:"allocs_per_run"`
+	BytesPerRun  uint64 `json:"bytes_per_run"`
+	GCCycles     uint32 `json:"gc_cycles"`
+}
+
+// BenchSample is one `go test -bench -benchmem` measurement (averaged over
+// the parsed lines carrying the same benchmark name).
+type BenchSample struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// BenchComparison pairs before/after samples of one benchmark.
+type BenchComparison struct {
+	Name   string       `json:"name"`
+	Before *BenchSample `json:"before,omitempty"`
+	After  *BenchSample `json:"after,omitempty"`
+}
+
+// File is the schema of results/BENCH_point.json.
+type File struct {
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"numcpu"`
+	Scale      float64           `json:"scale"`
+	Seed       uint64            `json:"seed"`
+	Nodes      int               `json:"nodes"`
+	Points     []Point           `json:"points"`
+	Benchmarks []BenchComparison `json:"benchmarks,omitempty"`
+}
+
+// Meter measures points against an injected monotonic nanosecond clock.
+type Meter struct {
+	// Now returns the current wall clock in nanoseconds. The caller (a cmd
+	// binary) injects it, typically time.Now().UnixNano.
+	Now func() int64
+}
+
+// Measure runs fn once and returns its telemetry. A GC runs first so the
+// allocation and GC counters describe fn alone, not leftover garbage.
+func (m *Meter) Measure(name string, fn func()) Point {
+	if m.Now == nil {
+		panic("perfbench: Meter without a clock")
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := m.Now()
+	fn()
+	elapsed := m.Now() - start
+	runtime.ReadMemStats(&after)
+	return Point{
+		Name:         name,
+		NsPerRun:     elapsed,
+		AllocsPerRun: after.Mallocs - before.Mallocs,
+		BytesPerRun:  after.TotalAlloc - before.TotalAlloc,
+		GCCycles:     after.NumGC - before.NumGC,
+	}
+}
+
+// ParseGoBench extracts benchmark samples from `go test -bench -benchmem`
+// output. Lines that are not benchmark results are skipped; repeated lines
+// for the same benchmark (-count N) are averaged. The trailing -GOMAXPROCS
+// suffix, when present, is stripped from names.
+func ParseGoBench(out string) map[string]BenchSample {
+	type acc struct {
+		s BenchSample
+		n int
+	}
+	sums := make(map[string]*acc)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var s BenchSample
+		seen := false
+		for i := 2; i < len(fields)-1; i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsPerOp = v
+				seen = true
+			case "B/op":
+				s.BytesPerOp = v
+			case "allocs/op":
+				s.AllocsPerOp = v
+			}
+		}
+		if !seen {
+			continue
+		}
+		a := sums[name]
+		if a == nil {
+			a = &acc{}
+			sums[name] = a
+		}
+		a.s.NsPerOp += s.NsPerOp
+		a.s.BytesPerOp += s.BytesPerOp
+		a.s.AllocsPerOp += s.AllocsPerOp
+		a.n++
+	}
+	res := make(map[string]BenchSample, len(sums))
+	for name, a := range sums { //nicwarp:ordered result map, insertion only
+		res[name] = BenchSample{
+			NsPerOp:     a.s.NsPerOp / float64(a.n),
+			BytesPerOp:  a.s.BytesPerOp / float64(a.n),
+			AllocsPerOp: a.s.AllocsPerOp / float64(a.n),
+		}
+	}
+	return res
+}
+
+// Compare joins before/after sample maps into comparisons, sorted by name.
+func Compare(before, after map[string]BenchSample) []BenchComparison {
+	names := make(map[string]bool)
+	for n := range before { //nicwarp:ordered collected into sorted slice below
+		names[n] = true
+	}
+	for n := range after { //nicwarp:ordered collected into sorted slice below
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names { //nicwarp:ordered collected into sorted slice below
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	out := make([]BenchComparison, 0, len(ordered))
+	for _, n := range ordered {
+		c := BenchComparison{Name: n}
+		if s, ok := before[n]; ok {
+			v := s
+			c.Before = &v
+		}
+		if s, ok := after[n]; ok {
+			v := s
+			c.After = &v
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// FormatComparisons renders a benchstat-style before/after table, one
+// section per metric.
+func FormatComparisons(cmps []BenchComparison) string {
+	var b strings.Builder
+	section := func(metric string, get func(*BenchSample) float64, fmtVal func(float64) string) {
+		fmt.Fprintf(&b, "%-28s %14s %14s %9s\n", "name", "old "+metric, "new "+metric, "delta")
+		for _, c := range cmps {
+			oldS, newS := "-", "-"
+			delta := "-"
+			if c.Before != nil {
+				oldS = fmtVal(get(c.Before))
+			}
+			if c.After != nil {
+				newS = fmtVal(get(c.After))
+			}
+			if c.Before != nil && c.After != nil && get(c.Before) != 0 {
+				d := (get(c.After) - get(c.Before)) / get(c.Before) * 100
+				delta = fmt.Sprintf("%+.1f%%", d)
+			}
+			fmt.Fprintf(&b, "%-28s %14s %14s %9s\n", c.Name, oldS, newS, delta)
+		}
+	}
+	section("time/op", func(s *BenchSample) float64 { return s.NsPerOp }, formatNs)
+	b.WriteByte('\n')
+	section("B/op", func(s *BenchSample) float64 { return s.BytesPerOp },
+		func(v float64) string { return formatCount(v) + "B" })
+	b.WriteByte('\n')
+	section("allocs/op", func(s *BenchSample) float64 { return s.AllocsPerOp },
+		func(v float64) string { return formatCount(v) })
+	return b.String()
+}
+
+// formatNs renders nanoseconds with a human unit.
+func formatNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// formatCount renders a count with a metric prefix.
+func formatCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

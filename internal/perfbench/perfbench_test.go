@@ -1,0 +1,80 @@
+package perfbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeterMeasure(t *testing.T) {
+	clock := int64(0)
+	m := &Meter{Now: func() int64 { clock += 1000; return clock }}
+	var sink []byte
+	p := m.Measure("point", func() {
+		sink = make([]byte, 1<<20)
+	})
+	_ = sink
+	if p.Name != "point" {
+		t.Fatalf("name %q", p.Name)
+	}
+	if p.NsPerRun != 1000 {
+		t.Fatalf("ns %d, want 1000 (two clock reads)", p.NsPerRun)
+	}
+	if p.AllocsPerRun == 0 || p.BytesPerRun < 1<<20 {
+		t.Fatalf("allocs=%d bytes=%d; the 1MiB allocation was not observed", p.AllocsPerRun, p.BytesPerRun)
+	}
+}
+
+const sampleBench = `goos: linux
+goarch: amd64
+BenchmarkFigure4RAIDGVT       	       1	1498251286 ns/op	         2.463 speedup@period=1	531486192 B/op	14915751 allocs/op
+BenchmarkFigure4RAIDGVT       	       1	1434800758 ns/op	         2.463 speedup@period=1	531475600 B/op	14915741 allocs/op
+BenchmarkFigure7aPoliceCancel-8 	       1	19221474862 ns/op	6744248336 B/op	181322731 allocs/op
+PASS
+ok  	nicwarp	40.1s
+`
+
+func TestParseGoBench(t *testing.T) {
+	got := ParseGoBench(sampleBench)
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	raid := got["Figure4RAIDGVT"]
+	wantNs := (1498251286.0 + 1434800758.0) / 2
+	if raid.NsPerOp != wantNs {
+		t.Fatalf("raid ns/op %v, want averaged %v", raid.NsPerOp, wantNs)
+	}
+	if raid.AllocsPerOp != (14915751.0+14915741.0)/2 {
+		t.Fatalf("raid allocs/op %v", raid.AllocsPerOp)
+	}
+	police, ok := got["Figure7aPoliceCancel"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix was not stripped")
+	}
+	if police.BytesPerOp != 6744248336.0 {
+		t.Fatalf("police B/op %v", police.BytesPerOp)
+	}
+}
+
+func TestCompareAndFormat(t *testing.T) {
+	before := map[string]BenchSample{
+		"B": {NsPerOp: 2e9, BytesPerOp: 1e6, AllocsPerOp: 1000},
+		"A": {NsPerOp: 1e9, BytesPerOp: 2e6, AllocsPerOp: 4000},
+	}
+	after := map[string]BenchSample{
+		"A": {NsPerOp: 5e8, BytesPerOp: 1e6, AllocsPerOp: 1000},
+		"C": {NsPerOp: 1e6},
+	}
+	cmps := Compare(before, after)
+	if len(cmps) != 3 || cmps[0].Name != "A" || cmps[1].Name != "B" || cmps[2].Name != "C" {
+		t.Fatalf("comparisons not sorted by name: %+v", cmps)
+	}
+	if cmps[1].After != nil || cmps[2].Before != nil {
+		t.Fatal("missing sides must stay nil")
+	}
+	out := FormatComparisons(cmps)
+	for _, want := range []string{"-50.0%", "-75.0%", "time/op", "allocs/op", "1.00s", "500.00ms", "4.00k"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -189,41 +189,44 @@ func (p *Packet) String() string {
 
 // Marshal encodes the packet into its fixed wire representation.
 func (p *Packet) Marshal() []byte {
-	buf := make([]byte, 0, packetWireSize)
-	put64 := func(v uint64) { buf = binary.BigEndian.AppendUint64(buf, v) }
-	put32 := func(v uint32) { buf = binary.BigEndian.AppendUint32(buf, v) }
-	put8 := func(v uint8) { buf = append(buf, v) }
+	return p.MarshalAppend(make([]byte, 0, packetWireSize))
+}
 
-	put64(p.Seq)
-	put32(uint32(p.SrcNode))
-	put32(uint32(p.DstNode))
-	put8(uint8(p.Kind))
-	put32(uint32(p.Credits))
-	put32(uint32(p.CreditRepair))
-	put32(uint32(p.SrcObj))
-	put32(uint32(p.DstObj))
-	put64(uint64(p.SendTS))
-	put64(uint64(p.RecvTS))
-	put64(p.EventID)
-	put64(p.Payload)
-	put32(p.ColorEpoch)
+// MarshalAppend appends the packet's wire representation to buf and returns
+// the extended slice, allocating nothing when buf has packetWireSize spare
+// capacity. Callers that encode in a loop reuse one buffer with
+// buf = pkt.MarshalAppend(buf[:0]).
+func (p *Packet) MarshalAppend(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, p.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.SrcNode))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.DstNode))
+	buf = append(buf, uint8(p.Kind))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Credits))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.CreditRepair))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.SrcObj))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.DstObj))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.SendTS))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.RecvTS))
+	buf = binary.BigEndian.AppendUint64(buf, p.EventID)
+	buf = binary.BigEndian.AppendUint64(buf, p.Payload)
+	buf = binary.BigEndian.AppendUint32(buf, p.ColorEpoch)
 	if p.PiggyGVTValid {
-		put8(1)
+		buf = append(buf, 1)
 	} else {
-		put8(0)
+		buf = append(buf, 0)
 	}
-	put64(uint64(p.PiggyT))
-	put64(uint64(p.PiggyTMin))
-	put64(uint64(p.PiggyV))
-	put32(uint32(p.PiggyRound))
-	put64(p.PiggyAntiEpoch)
-	put32(uint32(p.TokenRound))
-	put64(uint64(p.TokenCount))
-	put64(uint64(p.TokenMin))
-	put64(uint64(p.TokenGVT))
-	put32(uint32(p.TokenOrigin))
-	put64(p.TokenEpoch)
-	put8(uint8(p.Sign()))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.PiggyT))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.PiggyTMin))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.PiggyV))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.PiggyRound))
+	buf = binary.BigEndian.AppendUint64(buf, p.PiggyAntiEpoch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.TokenRound))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.TokenCount))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.TokenMin))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.TokenGVT))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.TokenOrigin))
+	buf = binary.BigEndian.AppendUint64(buf, p.TokenEpoch)
+	buf = append(buf, uint8(p.Sign()))
 	return buf
 }
 

@@ -52,6 +52,45 @@ func TestMarshalRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMarshalAppendMatchesMarshal(t *testing.T) {
+	p := samplePacket()
+	want := p.Marshal()
+
+	// Append to a prefix: the prefix must survive untouched.
+	prefix := []byte{0xAA, 0xBB}
+	got := p.MarshalAppend(prefix)
+	if len(got) != len(prefix)+len(want) {
+		t.Fatalf("appended %d bytes, want %d", len(got)-len(prefix), len(want))
+	}
+	if got[0] != 0xAA || got[1] != 0xBB {
+		t.Fatal("MarshalAppend clobbered the prefix")
+	}
+	for i := range want {
+		if got[len(prefix)+i] != want[i] {
+			t.Fatalf("byte %d: MarshalAppend %#x != Marshal %#x", i, got[len(prefix)+i], want[i])
+		}
+	}
+
+	q, err := Unmarshal(got[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", q, p)
+	}
+}
+
+func TestMarshalAppendDoesNotAllocateWithCapacity(t *testing.T) {
+	p := samplePacket()
+	buf := make([]byte, 0, p.EncodedSize())
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = p.MarshalAppend(buf[:0])
+	})
+	if allocs > 0 {
+		t.Fatalf("MarshalAppend into a sized buffer allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 func TestRoundTripAllKinds(t *testing.T) {
 	for k := Kind(0); k < numKinds; k++ {
 		p := samplePacket()

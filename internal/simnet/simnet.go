@@ -51,10 +51,42 @@ type Fabric struct {
 	cfg   Config
 	ports []port
 
+	freeTransit *transit // free list of in-flight packet records
+
 	// Metrics.
 	Forwarded  stats.Counter // packets forwarded (unicast count, broadcasts expanded)
 	Bytes      stats.Counter // bytes forwarded
 	Broadcasts stats.Counter // broadcast injections
+}
+
+// transit is one packet's journey through the switch, threaded through the
+// three stages (switch arrival, output-port serialization, final link
+// propagation) as a pooled record instead of nested closures.
+type transit struct {
+	f       *Fabric
+	dstPort int
+	pkt     *proto.Packet
+	next    *transit
+}
+
+// allocTransit takes a transit record from the free list, or allocates one.
+func (f *Fabric) allocTransit() *transit {
+	t := f.freeTransit
+	if t != nil {
+		f.freeTransit = t.next
+		t.next = nil
+	} else {
+		t = &transit{f: f}
+	}
+	return t
+}
+
+// releaseTransit clears a record and returns it to the free list.
+func (f *Fabric) releaseTransit(t *transit) {
+	t.pkt = nil
+	t.dstPort = 0
+	t.next = f.freeTransit
+	f.freeTransit = t
 }
 
 type port struct {
@@ -129,24 +161,43 @@ func (f *Fabric) Inject(srcPort int, pkt *proto.Packet) {
 
 // route moves a packet from the switch input at srcPort to dstPort.
 func (f *Fabric) route(srcPort, dstPort int, pkt *proto.Packet) {
-	size := pkt.EncodedSize()
+	t := f.allocTransit()
+	t.dstPort = dstPort
+	t.pkt = pkt
 	// Propagation from NIC to switch plus switch routing latency, then the
 	// packet competes for the destination output port.
-	f.eng.Schedule(f.cfg.LinkLatency+f.cfg.SwitchLatency, func() {
-		serialize := vtime.TransferTime(size, f.cfg.LinkBandwidth)
-		f.ports[dstPort].out.Submit(serialize, func() {
-			// Propagation from switch to the destination NIC.
-			f.eng.Schedule(f.cfg.LinkLatency, func() {
-				f.Forwarded.Inc()
-				f.Bytes.Add(int64(size))
-				d := f.ports[dstPort].deliver
-				if d == nil {
-					panic(fmt.Sprintf("simnet: port %d has no receiver", dstPort))
-				}
-				d(pkt)
-			})
-		})
-	})
+	f.eng.ScheduleArg(f.cfg.LinkLatency+f.cfg.SwitchLatency, transitAtSwitch, t)
+}
+
+// transitAtSwitch: the packet reached the switch; contend for the output
+// port's serializer.
+func transitAtSwitch(x interface{}) {
+	t := x.(*transit)
+	f := t.f
+	serialize := vtime.TransferTime(t.pkt.EncodedSize(), f.cfg.LinkBandwidth)
+	f.ports[t.dstPort].out.SubmitArg(serialize, transitSerialized, t)
+}
+
+// transitSerialized: the output port finished serializing; propagate down
+// the final link to the destination NIC.
+func transitSerialized(x interface{}) {
+	t := x.(*transit)
+	t.f.eng.ScheduleArg(t.f.cfg.LinkLatency, transitDeliver, t)
+}
+
+// transitDeliver: the packet fully arrived. The record is released before
+// the delivery callback runs, because delivery can inject new packets.
+func transitDeliver(x interface{}) {
+	t := x.(*transit)
+	f, dstPort, pkt := t.f, t.dstPort, t.pkt
+	f.releaseTransit(t)
+	f.Forwarded.Inc()
+	f.Bytes.Add(int64(pkt.EncodedSize()))
+	d := f.ports[dstPort].deliver
+	if d == nil {
+		panic(fmt.Sprintf("simnet: port %d has no receiver", dstPort))
+	}
+	d(pkt)
 }
 
 // PortUtilization returns the output-port utilization of portID.

@@ -23,6 +23,12 @@ type harness struct {
 }
 
 func newHarness(nLP int, objs map[ObjectID]Object, assign func(ObjectID) int, policy CancellationPolicy, seed uint64) *harness {
+	return newHarnessPool(nLP, objs, assign, policy, seed, false)
+}
+
+// newHarnessPool is newHarness with control over event pooling, for the
+// property test proving pooling is observationally invisible.
+func newHarnessPool(nLP int, objs map[ObjectID]Object, assign func(ObjectID) int, policy CancellationPolicy, seed uint64, disablePool bool) *harness {
 	h := &harness{home: make(map[ObjectID]int), rnd: rng.New(seed), window: deliveryWindow}
 	if policy == Lazy {
 		// Lazy cancellation is echo-prone under heavy reordering: deferred
@@ -33,7 +39,7 @@ func newHarness(nLP int, objs map[ObjectID]Object, assign func(ObjectID) int, po
 		h.window = lazyDeliveryWindow
 	}
 	for lp := 0; lp < nLP; lp++ {
-		h.kernels = append(h.kernels, NewKernel(Config{LP: lp, Cancellation: policy}))
+		h.kernels = append(h.kernels, NewKernel(Config{LP: lp, Cancellation: policy, DisableEventPool: disablePool}))
 	}
 	// Deterministic registration order.
 	ids := make([]ObjectID, 0, len(objs))

@@ -3,7 +3,6 @@ package timewarp
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 
 	"nicwarp/internal/stats"
 	"nicwarp/internal/vtime"
@@ -50,6 +49,11 @@ type Config struct {
 	// anti-message escaped filtering. With early cancellation off it can
 	// only mean a kernel bug, so it stays fatal.
 	TolerateOrphanAntis bool
+	// DisableEventPool turns off event reuse: every event is freshly
+	// allocated and released events go to the garbage collector. Pooling
+	// is observationally invisible, so this only exists for the property
+	// test that proves it (and for bisecting a suspected pooling bug).
+	DisableEventPool bool
 }
 
 // Stats aggregates kernel counters for one LP.
@@ -79,16 +83,33 @@ type snapshot struct {
 	sendSeq uint64
 }
 
+// histEntry is one execution-history record: the executed event, the state
+// snapshot taken before it ran, and the positives sent while executing it.
+// The three former parallel slices (processed/states/outputs) are one
+// struct so the ring-buffer head index advances them together.
+type histEntry struct {
+	ev      *Event
+	state   snapshot
+	outputs []*Event
+}
+
 // objRuntime carries the kernel bookkeeping for one local object.
 type objRuntime struct {
 	id  ObjectID
 	obj Object
 
-	pending   eventHeap // unprocessed input events
-	processed []*Event  // executed events, in execution (total) order
-	states    []snapshot
-	outputs   [][]*Event // outputs[i]: positives sent while executing processed[i]
-	sendSeq   uint64
+	pending eventHeap // unprocessed input events
+
+	// hist is the execution history as a head-indexed ring: live entries
+	// are hist[histHead:] in execution (total) order. Fossil collection
+	// advances histHead in O(reclaimed) and compacts the backing array
+	// only when the dead prefix reaches half the slice, so reclamation is
+	// O(reclaimed) amortized instead of the former O(remaining) re-copy.
+	// Vacated slots keep their outputs slice capacity for reuse.
+	hist     []histEntry
+	histHead int
+
+	sendSeq uint64
 
 	lazyPending []*Event // cancelled outputs awaiting re-send match (lazy mode)
 	zombies     []*Event // unmatched anti-messages
@@ -96,6 +117,29 @@ type objRuntime struct {
 
 	heapIdx int // position in the kernel scheduler heap
 }
+
+// liveLen returns the number of retained history entries.
+func (o *objRuntime) liveLen() int { return len(o.hist) - o.histHead }
+
+// live returns the i-th retained history entry (0 = oldest).
+func (o *objRuntime) live(i int) *histEntry { return &o.hist[o.histHead+i] }
+
+// pushHist appends a history entry, reusing the vacated slot (and its
+// outputs capacity) left behind by an earlier rollback or compaction.
+func (o *objRuntime) pushHist(ev *Event, snap snapshot) {
+	if len(o.hist) < cap(o.hist) {
+		o.hist = o.hist[:len(o.hist)+1]
+		e := &o.hist[len(o.hist)-1]
+		e.ev = ev
+		e.state = snap
+		e.outputs = e.outputs[:0]
+		return
+	}
+	o.hist = append(o.hist, histEntry{ev: ev, state: snap})
+}
+
+// lastHist returns the newest live history entry.
+func (o *objRuntime) lastHist() *histEntry { return &o.hist[len(o.hist)-1] }
 
 // head returns the object's lowest unprocessed event, or nil.
 func (o *objRuntime) head() *Event {
@@ -108,10 +152,10 @@ func (o *objRuntime) head() *Event {
 // clock returns the object's local virtual time: the receive timestamp of
 // its last executed event, or zero before any execution.
 func (o *objRuntime) clock() vtime.VTime {
-	if len(o.processed) == 0 {
+	if o.liveLen() == 0 {
 		return 0
 	}
-	return o.processed[len(o.processed)-1].RecvTS
+	return o.lastHist().ev.RecvTS
 }
 
 // schedHeap orders objects by their head pending event; objects with no
@@ -156,7 +200,9 @@ type StepResult struct {
 	// not execute events, they only enqueue).
 	Executed int
 	// Remote holds events (positive and anti) destined for other LPs, in
-	// emission order.
+	// emission order. Ownership transfers to the caller: the kernel keeps
+	// no reference, and the caller may return the events to the kernel's
+	// pool with Recycle once it is done with them.
 	Remote []*Event
 	// Rollbacks is the number of rollback episodes triggered.
 	Rollbacks int
@@ -178,8 +224,12 @@ type Kernel struct {
 	objs  map[ObjectID]*objRuntime
 	order []*objRuntime
 	sched schedHeap
+	pool  eventPool
 
-	// Per-call scratch, reset by each public entry point.
+	// Per-call scratch, reset by each public entry point. res aliases
+	// resVal so begin() allocates nothing; the Remote slice inside starts
+	// nil each call because its ownership transfers to the caller.
+	resVal StepResult
 	res    *StepResult
 	localQ []*Event
 
@@ -205,6 +255,7 @@ func NewKernel(cfg Config) *Kernel {
 	return &Kernel{
 		cfg:  cfg,
 		objs: make(map[ObjectID]*objRuntime),
+		pool: eventPool{disabled: cfg.DisableEventPool},
 	}
 }
 
@@ -245,7 +296,8 @@ func (k *Kernel) IsLocal(id ObjectID) bool {
 
 // begin resets per-call scratch and returns the result accumulator.
 func (k *Kernel) begin() *StepResult {
-	k.res = &StepResult{}
+	k.resVal = StepResult{}
+	k.res = &k.resVal
 	return k.res
 }
 
@@ -321,9 +373,7 @@ func (k *Kernel) ProcessOne() StepResult {
 	k.fixSched(o)
 
 	// State saving (period 1, the WARPED default).
-	o.states = append(o.states, snapshot{app: o.obj.SaveState(), sendSeq: o.sendSeq})
-	o.processed = append(o.processed, ev)
-	o.outputs = append(o.outputs, nil)
+	o.pushHist(ev, snapshot{app: o.obj.SaveState(), sendSeq: o.sendSeq})
 	k.histCount++
 	k.Stats.StateSaves.Inc()
 	k.Stats.Processed.Inc()
@@ -345,10 +395,12 @@ func (k *Kernel) ProcessOne() StepResult {
 
 // Deliver accepts a message from another LP (or, during tests, any
 // externally produced event) and fully integrates it: annihilation,
-// straggler rollback, enqueueing, and any local cancellation cascade.
+// straggler rollback, enqueueing, and any local cancellation cascade. The
+// kernel copies ev at this boundary: the caller keeps ownership of (and may
+// reuse) the value it passed in.
 func (k *Kernel) Deliver(ev *Event) StepResult {
 	res := k.begin()
-	k.deliverOne(ev)
+	k.deliverOne(k.copyEvent(ev))
 	k.drainLocal()
 	return *res
 }
@@ -370,17 +422,36 @@ func (k *Kernel) FossilCollect(gvt vtime.VTime) StepResult {
 	k.committedGVT = gvt
 	res := k.begin()
 	for _, o := range k.order {
-		// First history index that must be retained.
-		q := sort.Search(len(o.processed), func(i int) bool {
-			return o.processed[i].RecvTS >= gvt
-		})
-		if q > 0 {
+		// First live history index that must be retained.
+		lo, hi := 0, o.liveLen()
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if o.live(mid).ev.RecvTS >= gvt {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if q := lo; q > 0 {
 			k.Stats.FossilEvents.Add(int64(q))
 			o.fossilCount += q
 			k.histCount -= q
-			o.processed = append([]*Event(nil), o.processed[q:]...)
-			o.states = append([]snapshot(nil), o.states[q:]...)
-			o.outputs = append([][]*Event(nil), o.outputs[q:]...)
+			// Release the reclaimed entries' events and outputs, clear
+			// the slots, and advance the ring head — O(reclaimed), not
+			// O(remaining).
+			for i := 0; i < q; i++ {
+				e := o.live(i)
+				k.release(e.ev)
+				for j, out := range e.outputs {
+					k.release(out)
+					e.outputs[j] = nil
+				}
+				e.ev = nil
+				e.state = snapshot{}
+				e.outputs = e.outputs[:0]
+			}
+			o.histHead += q
+			o.compactHist()
 		}
 		if k.cfg.Cancellation == Lazy {
 			k.lazyFlush(o, gvt)
@@ -395,6 +466,7 @@ func (k *Kernel) FossilCollect(gvt vtime.VTime) StepResult {
 					panic(fmt.Sprintf("timewarp: zombie anti below GVT: %v (gvt=%v)", z, gvt))
 				}
 				k.Stats.OrphanAntis.Inc()
+				k.release(z)
 				continue
 			}
 			kept = append(kept, z)
@@ -406,6 +478,29 @@ func (k *Kernel) FossilCollect(gvt vtime.VTime) StepResult {
 	}
 	k.drainLocal()
 	return *res
+}
+
+// compactHist bounds the dead prefix of the history ring: when the head
+// reaches half the slice, the live tail slides to the front of the same
+// backing array. The copy is O(live), but it only happens after at least
+// live entries were reclaimed, so reclamation stays O(reclaimed) amortized.
+func (o *objRuntime) compactHist() {
+	if o.histHead == len(o.hist) {
+		o.hist = o.hist[:0]
+		o.histHead = 0
+		return
+	}
+	if o.histHead*2 < len(o.hist) {
+		return
+	}
+	n := copy(o.hist, o.hist[o.histHead:])
+	// Sever the moved entries' old slots: their outputs headers now alias
+	// the live copies at the front and must not be reused or released.
+	for i := n; i < len(o.hist); i++ {
+		o.hist[i] = histEntry{}
+	}
+	o.hist = o.hist[:n]
+	o.histHead = 0
 }
 
 // ObjectDigest returns the current state digest of one local object.
@@ -435,7 +530,7 @@ func (k *Kernel) CommittedDigest() uint64 {
 func (k *Kernel) ProcessedCounts() map[ObjectID]int {
 	m := make(map[ObjectID]int, len(k.order))
 	for _, o := range k.order {
-		m[o.id] = len(o.processed) + o.fossilCount
+		m[o.id] = o.liveLen() + o.fossilCount
 	}
 	return m
 }
@@ -445,7 +540,7 @@ func (k *Kernel) ProcessedCounts() map[ObjectID]int {
 func (k *Kernel) CommittedEvents() int {
 	n := 0
 	for _, o := range k.order {
-		n += len(o.processed) + o.fossilCount
+		n += o.liveLen() + o.fossilCount
 	}
 	return n
 }
@@ -453,7 +548,8 @@ func (k *Kernel) CommittedEvents() int {
 // send implements Context.Send.
 func (k *Kernel) send(c *Context, dst ObjectID, delay vtime.VTime, payload uint64) {
 	o := c.st
-	ev := &Event{
+	ev := k.pool.get()
+	*ev = Event{
 		ID:      MakeEventID(o.id, o.sendSeq),
 		Src:     o.id,
 		Dst:     dst,
@@ -464,27 +560,34 @@ func (k *Kernel) send(c *Context, dst ObjectID, delay vtime.VTime, payload uint6
 	}
 	o.sendSeq++
 
-	if !c.inInit {
-		// Lazy cancellation: a regenerated send identical to a cancelled
-		// one means the original message is still correct; keep it and do
-		// not re-send.
-		if k.cfg.Cancellation == Lazy {
-			if k.lazyMatch(o, ev) {
-				row := len(o.outputs) - 1
-				o.outputs[row] = append(o.outputs[row], ev)
-				k.Stats.LazyHits.Inc()
-				return
-			}
-		}
-		row := len(o.outputs) - 1
-		o.outputs[row] = append(o.outputs[row], ev)
+	if c.inInit {
+		// Initial sends are recorded nowhere and routed directly; route
+		// takes ownership.
+		k.route(ev)
+		k.Stats.PositivesSent.Inc()
+		return
 	}
-	k.route(ev)
+	// Lazy cancellation: a regenerated send identical to a cancelled
+	// one means the original message is still correct; keep it and do
+	// not re-send.
+	if k.cfg.Cancellation == Lazy && k.lazyMatch(o, ev) {
+		last := o.lastHist()
+		last.outputs = append(last.outputs, ev)
+		k.Stats.LazyHits.Inc()
+		return
+	}
+	// The outputs row keeps its own copy (for rollback cancellation);
+	// routing gets another. The two copies are what lets fossil
+	// collection release the row without racing the in-flight message.
+	last := o.lastHist()
+	last.outputs = append(last.outputs, ev)
+	k.route(k.copyEvent(ev))
 	k.Stats.PositivesSent.Inc()
 }
 
 // route sends an event toward its destination: the local delivery queue or
-// the remote outbox.
+// the remote outbox. route owns ev; local delivery hands it to deliverOne,
+// remote emission transfers it to the caller via StepResult.Remote.
 func (k *Kernel) route(ev *Event) {
 	if ev.Sign < 0 {
 		k.Stats.AntisSent.Inc()
@@ -499,13 +602,15 @@ func (k *Kernel) route(ev *Event) {
 }
 
 // drainLocal delivers queued intra-LP events until none remain. Deliveries
-// can trigger rollbacks that enqueue further local antis, hence the loop.
+// can trigger rollbacks that enqueue further local antis, hence the index
+// loop (which also keeps the queue's backing array for reuse).
 func (k *Kernel) drainLocal() {
-	for len(k.localQ) > 0 {
-		ev := k.localQ[0]
-		k.localQ = k.localQ[1:]
+	for i := 0; i < len(k.localQ); i++ {
+		ev := k.localQ[i]
+		k.localQ[i] = nil
 		k.deliverOne(ev)
 	}
+	k.localQ = k.localQ[:0]
 }
 
 // sameIdentity reports whether a positive and an anti refer to the same
@@ -516,7 +621,7 @@ func sameIdentity(a, b *Event) bool {
 }
 
 // deliverOne integrates one inbound event (positive or anti) into its
-// destination object.
+// destination object. The kernel owns ev.
 func (k *Kernel) deliverOne(ev *Event) {
 	o, ok := k.objs[ev.Dst]
 	if !ok {
@@ -540,19 +645,29 @@ func (k *Kernel) deliverPositive(o *objRuntime, ev *Event) {
 	// the positive on sight.
 	for i, z := range o.zombies {
 		if sameIdentity(ev, z) {
-			o.zombies = append(o.zombies[:i:i], o.zombies[i+1:]...)
+			copy(o.zombies[i:], o.zombies[i+1:])
+			o.zombies[len(o.zombies)-1] = nil
+			o.zombies = o.zombies[:len(o.zombies)-1]
 			k.Stats.Annihilations.Inc()
 			k.res.Annihilated = true
+			k.release(z)
+			k.release(ev)
 			return
 		}
 	}
 	// Straggler: the event sorts before something already executed.
-	if n := len(o.processed); n > 0 && ev.Before(o.processed[n-1]) {
+	if n := o.liveLen(); n > 0 && ev.Before(o.lastHist().ev) {
 		k.Stats.Stragglers.Inc()
-		p := sort.Search(len(o.processed), func(i int) bool {
-			return ev.Before(o.processed[i])
-		})
-		k.rollback(o, p)
+		lo, hi := 0, n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ev.Before(o.live(mid).ev) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		k.rollback(o, lo)
 	}
 	heap.Push(&o.pending, ev)
 	k.fixSched(o)
@@ -572,36 +687,40 @@ func (k *Kernel) deliverAnti(o *objRuntime, ev *Event) {
 			k.fixSched(o)
 			k.Stats.Annihilations.Inc()
 			k.res.Annihilated = true
+			k.release(p)
+			k.release(ev)
 			return
 		}
 	}
 	// Processed positive: roll back to just before it, which reinserts it
 	// into pending; then remove it.
-	for i, p := range o.processed {
-		if sameIdentity(p, ev) {
+	for i := 0; i < o.liveLen(); i++ {
+		if sameIdentity(o.live(i).ev, ev) {
 			k.rollback(o, i)
 			for j, q := range o.pending {
 				if q.Sign > 0 && sameIdentity(q, ev) {
 					heap.Remove(&o.pending, j)
+					k.release(q)
 					break
 				}
 			}
 			k.fixSched(o)
 			k.Stats.Annihilations.Inc()
 			k.res.Annihilated = true
+			k.release(ev)
 			return
 		}
 	}
-	// No positive yet: store the zombie.
+	// No positive yet: store the zombie; the zombie list takes ownership.
 	o.zombies = append(o.zombies, ev)
 	k.Stats.Zombies.Inc()
 }
 
-// rollback undoes o's execution history from position p onward: restores
-// the saved state, reinserts the undone events as pending, and cancels the
-// outputs of the undone executions per the cancellation policy.
+// rollback undoes o's execution history from live position p onward:
+// restores the saved state, reinserts the undone events as pending, and
+// cancels the outputs of the undone executions per the cancellation policy.
 func (k *Kernel) rollback(o *objRuntime, p int) {
-	n := len(o.processed)
+	n := o.liveLen()
 	if p >= n {
 		return // nothing executed after the straggler point
 	}
@@ -612,28 +731,35 @@ func (k *Kernel) rollback(o *objRuntime, p int) {
 	k.Stats.RollbackDepth.Observe(float64(undone))
 	k.res.UndoneEvents += undone
 
-	o.obj.RestoreState(o.states[p].app)
-	o.sendSeq = o.states[p].sendSeq
+	o.obj.RestoreState(o.live(p).state.app)
+	o.sendSeq = o.live(p).state.sendSeq
 	k.histCount -= undone
 
 	for i := n - 1; i >= p; i-- {
-		heap.Push(&o.pending, o.processed[i])
+		heap.Push(&o.pending, o.live(i).ev)
 	}
-	// Cancel outputs of the undone executions, oldest first.
+	// Cancel outputs of the undone executions, oldest first. Under
+	// aggressive cancellation the output copy dies here, right after its
+	// anti-message is built; under lazy it moves to lazyPending.
 	for i := p; i < n; i++ {
-		for _, out := range o.outputs[i] {
+		e := o.live(i)
+		for j, out := range e.outputs {
 			switch k.cfg.Cancellation {
 			case Aggressive:
-				k.route(out.Anti())
+				k.route(k.antiOf(out))
+				k.release(out)
 			case Lazy:
 				o.lazyPending = append(o.lazyPending, out)
 			}
+			e.outputs[j] = nil
 		}
-		o.outputs[i] = nil
+		// Clear the slot; the event pointer now lives in pending. The
+		// outputs slice keeps its capacity for the next pushHist.
+		e.ev = nil
+		e.state = snapshot{}
+		e.outputs = e.outputs[:0]
 	}
-	o.processed = o.processed[:p]
-	o.states = o.states[:p]
-	o.outputs = o.outputs[:p]
+	o.hist = o.hist[:o.histHead+p]
 	k.fixSched(o)
 }
 
@@ -641,7 +767,10 @@ func (k *Kernel) rollback(o *objRuntime, p int) {
 func (k *Kernel) lazyMatch(o *objRuntime, ev *Event) bool {
 	for i, e := range o.lazyPending {
 		if sameIdentity(e, ev) {
-			o.lazyPending = append(o.lazyPending[:i:i], o.lazyPending[i+1:]...)
+			copy(o.lazyPending[i:], o.lazyPending[i+1:])
+			o.lazyPending[len(o.lazyPending)-1] = nil
+			o.lazyPending = o.lazyPending[:len(o.lazyPending)-1]
+			k.release(e)
 			return true
 		}
 	}
@@ -659,8 +788,9 @@ func (k *Kernel) lazyFlush(o *objRuntime, bound vtime.VTime) {
 	kept := o.lazyPending[:0]
 	for _, e := range o.lazyPending {
 		if e.SendTS < bound {
-			k.route(e.Anti())
+			k.route(k.antiOf(e))
 			k.Stats.LazyAntis.Inc()
+			k.release(e)
 		} else {
 			kept = append(kept, e)
 		}

@@ -1,0 +1,72 @@
+package timewarp
+
+// eventPool is a per-kernel free list of Event structs. The kernel is
+// single-threaded (one LP driven by one cluster loop), so the pool needs no
+// synchronization.
+//
+// Ownership discipline (the invariant that makes pooling safe in a Time
+// Warp kernel): every kernel-internal structure — an object's pending heap,
+// history outputs rows, the lazy-pending list, the zombie list, the local
+// delivery queue — holds its *own* pooled copy of an event; no two
+// structures ever share a pointer. Inbound events are copied at the Deliver
+// boundary, and outbound events in StepResult.Remote are transferred out of
+// the kernel entirely (the caller may hand them back through
+// Kernel.Recycle). An event is released exactly when the last structure
+// owning it lets go: at annihilation, at fossil collection, at lazy-match
+// consumption, and when a rollback's cancelled outputs have routed their
+// anti-messages. Every allocation fully overwrites the struct, so a
+// recycled event can never leak a stale field into identity comparison.
+type eventPool struct {
+	free     []*Event
+	disabled bool // property tests disable reuse to prove observational equivalence
+}
+
+// get returns an event with unspecified contents; the caller must overwrite
+// every field.
+func (p *eventPool) get() *Event {
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return e
+	}
+	return &Event{}
+}
+
+// put returns an event to the pool. The caller guarantees no live structure
+// still references it.
+func (p *eventPool) put(e *Event) {
+	if p.disabled || e == nil {
+		return
+	}
+	p.free = append(p.free, e)
+}
+
+// release returns an event the kernel owns to the pool.
+func (k *Kernel) release(e *Event) { k.pool.put(e) }
+
+// copyEvent returns a pooled copy of e.
+func (k *Kernel) copyEvent(e *Event) *Event {
+	c := k.pool.get()
+	*c = *e
+	return c
+}
+
+// antiOf returns a pooled anti-message for a positive event (the pooled
+// counterpart of Event.Anti).
+func (k *Kernel) antiOf(e *Event) *Event {
+	if e.Sign != 1 {
+		panic("timewarp: Anti of a non-positive event")
+	}
+	a := k.pool.get()
+	*a = *e
+	a.Sign = -1
+	return a
+}
+
+// Recycle returns an event that the kernel handed out via StepResult.Remote
+// to the kernel's pool. Callers that convert remote events into packets may
+// recycle them once the conversion is done; callers that do not recycle
+// simply leave the events to the garbage collector. The caller must not
+// retain ev after Recycle.
+func (k *Kernel) Recycle(ev *Event) { k.pool.put(ev) }

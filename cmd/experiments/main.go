@@ -46,6 +46,7 @@ import (
 	"nicwarp/internal/perfbench"
 	"nicwarp/internal/runner"
 	"nicwarp/internal/stats"
+	"nicwarp/internal/stress"
 )
 
 func main() {
@@ -72,6 +73,7 @@ func main() {
 		cpuprof    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		list       = flag.Bool("list", false, "list registered experiments and exit")
+		stressRun  = flag.Bool("stress", false, "run the fault-plane stress smoke matrix and write <out>/stress_smoke.json")
 	)
 	flag.Parse()
 
@@ -107,6 +109,16 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(perfbench.FormatComparisons(cmps))
+		return
+	}
+
+	if *stressRun {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := runStressSmoke(*out, *nodes, *scale, *workers); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -237,6 +249,51 @@ func progressPrinter(total int) func(runner.Progress) {
 		fmt.Printf("[%3d/%3d %7.1fs]%s %s%s\n",
 			p.Done, p.Total, elapsed.Seconds(), eta, p.Name, status)
 	}
+}
+
+// runStressSmoke runs the short fault-plane stress matrix (3 loss-free
+// scenarios × 4 seeds on the PHOLD workload) and writes the judged report
+// to <out>/stress_smoke.json — the artifact CI uploads. A failing point
+// fails the invocation; its shrunken repro command is in the report.
+func runStressSmoke(out string, nodes int, scale float64, workers int) error {
+	opts := stress.Options{
+		Apps:      []string{"phold"},
+		Scenarios: []string{"drop", "dup", "chaos"},
+		Seeds:     []uint64{1, 2, 3, 4},
+		Nodes:     nodes,
+		Scale:     scale,
+		Workers:   workers,
+		Shrink:    true,
+		OnProgress: func(p runner.Progress) {
+			status := ""
+			if p.Err != nil {
+				status = " FAILED: " + p.Err.Error()
+			}
+			fmt.Printf("[%3d/%3d] %s%s\n", p.Done, p.Total, p.Name, status)
+		},
+	}
+	rep, err := stress.Sweep(opts)
+	if err != nil {
+		return err
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(out, "stress_smoke.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("stress: %d points, %d failures -> %s\n", len(rep.Points), rep.Failures, path)
+	if rep.Failures > 0 {
+		for _, p := range rep.Points {
+			if !p.Pass && p.Repro != "" {
+				fmt.Println("stress: repro:", p.Repro)
+			}
+		}
+		return fmt.Errorf("stress smoke: %d point(s) failed", rep.Failures)
+	}
+	return nil
 }
 
 // benchRecord is the schema of the -bench JSON artifact: one measurement of

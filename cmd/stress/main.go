@@ -1,0 +1,171 @@
+// Command stress sweeps fault scenario × seed matrices over the cluster
+// model and judges every point with the protocol-invariant oracles. It is
+// the repro entry point for fault-plane failures: a failing point is shrunk
+// to the smallest configuration that still fails and reported as a
+// single-line command that re-runs exactly that point.
+//
+//	stress -apps phold,raid -scenarios drop,dup,chaos -seeds 1,2,3,4 -out stress.json
+//
+// Scenario and seed sweeps are deterministic: the same matrix produces a
+// byte-identical JSON report serially (-j 1), on the parallel pool, and on
+// a cache-warm re-run (-cache). -scenarios all includes the hostile
+// scenarios (true packet loss, skewed GVT reports), which exist to fail:
+// they prove the oracles catch a broken run. -list describes the matrix
+// axes and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"nicwarp/internal/fault"
+	"nicwarp/internal/runner"
+	"nicwarp/internal/stress"
+)
+
+func main() {
+	var (
+		apps      = flag.String("apps", "", "comma-separated workload subset (default: all)")
+		scenarios = flag.String("scenarios", "", "comma-separated fault scenarios (default: every non-hostile; \"all\" adds hostile)")
+		seeds     = flag.String("seeds", "1,2,3,4", "comma-separated fault seeds")
+		nodes     = flag.Int("nodes", 4, "cluster size")
+		scale     = flag.Float64("scale", 1.0, "workload scale")
+		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel points (1 = serial)")
+		cacheDir  = flag.String("cache", "", "persist point results under this directory keyed on config digest")
+		out       = flag.String("out", "", "write the JSON report to this file")
+		verify    = flag.Bool("verify", false, "also run the sequential oracle inside every point")
+		shrink    = flag.Bool("shrink", true, "shrink failing points to a minimal repro command")
+		list      = flag.Bool("list", false, "list workloads and fault scenarios, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(stress.AppNames(), ", "))
+		fmt.Println("scenarios:")
+		for _, name := range fault.AllScenarios() {
+			fmt.Printf("  %-12s %s\n", name, fault.Describe(name))
+		}
+		return
+	}
+
+	opts := stress.Options{
+		Apps:      splitList(*apps),
+		Scenarios: scenarioList(*scenarios),
+		Nodes:     *nodes,
+		Scale:     *scale,
+		Workers:   *workers,
+		Verify:    *verify,
+		Shrink:    *shrink,
+	}
+	var err error
+	if opts.Seeds, err = seedList(*seeds); err != nil {
+		fatal(err)
+	}
+	if *cacheDir != "" {
+		dc, err := runner.NewDiskCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("cache:", dc.Dir())
+		opts.Cache = dc
+	}
+
+	start := time.Now()
+	opts.OnProgress = func(p runner.Progress) {
+		status := ""
+		switch {
+		case p.Err != nil:
+			status = " FAILED: " + p.Err.Error()
+		case p.Cached:
+			status = " (cached)"
+		}
+		fmt.Printf("[%3d/%3d %6.1fs] %s%s\n",
+			p.Done, p.Total, time.Since(start).Seconds(), p.Name, status)
+	}
+
+	rep, err := stress.Sweep(opts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range rep.Points {
+		if p.Pass {
+			continue
+		}
+		fmt.Printf("FAIL %s\n", p.Name)
+		if p.Error != "" {
+			fmt.Printf("     error: %s\n", p.Error)
+		}
+		for _, v := range p.Violations {
+			fmt.Printf("     violation: %s\n", v)
+		}
+		if p.Baseline != "" && p.Digest != p.Baseline {
+			fmt.Printf("     digest %s != fault-free %s\n", p.Digest, p.Baseline)
+		}
+		if p.Repro != "" {
+			fmt.Printf("     repro: %s\n", p.Repro)
+		}
+	}
+	if *out != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if dir := filepath.Dir(*out); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *out)
+	}
+	fmt.Printf("%d points, %d failures\n", len(rep.Points), rep.Failures)
+	if rep.Failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// splitList parses a comma-separated flag into its non-empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// scenarioList expands the -scenarios flag; "all" selects every registered
+// scenario including the hostile ones.
+func scenarioList(s string) []string {
+	if strings.TrimSpace(s) == "all" {
+		return fault.AllScenarios()
+	}
+	return splitList(s)
+}
+
+// seedList parses the -seeds flag.
+func seedList(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stress: bad seed %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stress:", err)
+	os.Exit(1)
+}

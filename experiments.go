@@ -3,6 +3,7 @@ package nicwarp
 import (
 	"fmt"
 
+	"nicwarp/internal/fault"
 	"nicwarp/internal/runner"
 	"nicwarp/internal/stats"
 	"nicwarp/internal/vtime"
@@ -501,6 +502,41 @@ func ablationDefs() []ablationDef {
 				return map[string]float64{
 					"dropRatePct": res.NICDropRate(),
 					"dropped":     float64(res.DroppedInPlace),
+				}
+			},
+		},
+		{
+			name:        "abl-stress-faults",
+			output:      "ablation_stress_faults",
+			description: "Ablation: fault-plane scenarios (overhead of loss-free wire chaos)",
+			extras:      []string{"faults", "bipDuplicates", "lateFilled", "rollbacks"},
+			variants: func(o FigureOpts) []ablationVariant {
+				var vs []ablationVariant
+				for _, sc := range append([]string{"none"}, fault.Scenarios()...) {
+					plan, err := fault.PlanFor(sc, o.Seed)
+					if err != nil {
+						panic(err) // registry names come from fault.Scenarios
+					}
+					cfg := Config{
+						App:             PHOLD(PHOLDParams{Objects: 16, Population: 1, Hops: o.scaled(400), MeanDelay: 40, Locality: 0.2}),
+						Nodes:           o.Nodes,
+						Seed:            o.Seed,
+						GVT:             GVTNIC,
+						GVTPeriod:       50,
+						EarlyCancel:     true,
+						CheckInvariants: true,
+					}
+					cfg.Fault = plan
+					vs = append(vs, ablationVariant{sc, cfg})
+				}
+				return vs
+			},
+			extract: func(res *Result) map[string]float64 {
+				return map[string]float64{
+					"faults":        float64(res.FaultsInjected),
+					"bipDuplicates": float64(res.BIPDuplicates),
+					"lateFilled":    float64(res.BIPLateFilled),
+					"rollbacks":     float64(res.Rollbacks),
 				}
 			},
 		},

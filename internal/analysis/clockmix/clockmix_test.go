@@ -7,5 +7,5 @@ import (
 )
 
 func TestClockmix(t *testing.T) {
-	analysistest.Run(t, "../testdata", Analyzer, "clockmix_bad", "clockmix_ok")
+	analysistest.Run(t, "../testdata", Analyzer, "clockmix_bad", "clockmix_ok", "faultplane_bad_clockmix", "faultplane_ok")
 }

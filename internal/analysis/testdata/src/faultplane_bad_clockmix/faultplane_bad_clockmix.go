@@ -1,0 +1,17 @@
+// Package faultplane_bad_clockmix is the fault plane crossing clock
+// domains: deriving a hardware-time retransmission delay from a packet's
+// virtual timestamp. The two clocks are both int64 underneath, which is
+// exactly why the cast is banned rather than trusted.
+package faultplane_bad_clockmix
+
+import "nicwarp/internal/vtime"
+
+// retxFromTimestamp schedules the retry off the event's virtual time.
+func retxFromTimestamp(sendTS vtime.VTime) vtime.ModelTime {
+	return vtime.ModelTime(sendTS) // want `conversion of vtime\.VTime to vtime\.ModelTime`
+}
+
+// launderedSkew hides the same mix behind an integer conversion.
+func launderedSkew(degrade vtime.ModelTime) vtime.VTime {
+	return vtime.VTime(int64(degrade)) // want `conversion of vtime\.ModelTime to vtime\.VTime`
+}

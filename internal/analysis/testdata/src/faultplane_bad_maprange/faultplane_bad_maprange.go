@@ -1,0 +1,30 @@
+// Package faultplane_bad_maprange is the invariant checker written wrong:
+// quiescence walks that iterate maps in runtime-randomized order, so the
+// violation list (and with it the stress report) differs between two runs
+// of the same seed.
+package faultplane_bad_maprange
+
+type violation struct {
+	src   int32
+	holes int
+}
+
+// reportHoles appends per-source violations straight out of map order: the
+// report is no longer byte-identical across runs.
+func reportHoles(missing map[int32]map[uint64]struct{}) []violation {
+	var out []violation
+	for src, holes := range missing { // want `iteration over map missing`
+		if len(holes) > 0 {
+			out = append(out, violation{src: src, holes: len(holes)})
+		}
+	}
+	return out
+}
+
+// firstTransit picks "the" leaked message by visit order.
+func firstTransit(transit map[uint64]int) uint64 {
+	for k := range transit { // want `iteration over map transit`
+		return k
+	}
+	return 0
+}

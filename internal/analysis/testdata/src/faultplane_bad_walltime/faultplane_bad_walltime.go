@@ -1,0 +1,27 @@
+// Package faultplane_bad_walltime is the fault plane written wrong: seeds
+// and fault fates drawn from ambient entropy instead of the plan seed. Any
+// of these would make a FaultPlan unreplayable — the exact property the
+// stress harness's shrink-to-repro depends on.
+package faultplane_bad_walltime
+
+import (
+	mrand "math/rand" // want `import of math/rand in deterministic package faultplane_bad_walltime`
+	"time"
+)
+
+// seedFromClock is the classic way a "seeded" fault plane silently loses
+// replayability.
+func seedFromClock() int64 {
+	return time.Now().UnixNano() // want `wall-clock access time\.Now`
+}
+
+// drop decides a packet's fate from process-global randomness: two runs of
+// the same plan diverge.
+func drop(prob float64) bool {
+	return mrand.Float64() < prob
+}
+
+// retxPause sleeps real time instead of scheduling model time.
+func retxPause() {
+	time.Sleep(20 * time.Microsecond) // want `wall-clock access time\.Sleep`
+}

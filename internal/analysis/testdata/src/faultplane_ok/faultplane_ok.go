@@ -1,0 +1,58 @@
+// Package faultplane_ok mirrors the determinism-sensitive idioms of the
+// fault-injection subsystem (internal/fault, internal/invariant,
+// internal/stress) and must be silent under every analyzer: fault
+// decisions from seeded streams only, hole-set folds annotated as
+// order-insensitive, per-pair walks over sorted keys, and clock domains
+// kept apart.
+package faultplane_ok
+
+import (
+	"sort"
+
+	"nicwarp/internal/vtime"
+)
+
+// stream is the xorshift64* shape the fault plane derives per component —
+// one word of seeded state, no ambient entropy anywhere.
+type stream struct{ s uint64 }
+
+func (r *stream) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 2685821657736338717
+}
+
+// decide draws one fault fate per packet from the per-port stream: the
+// whole schedule replays from the seed.
+func decide(r *stream, dropProb uint64) bool {
+	return r.next()%100 < dropProb
+}
+
+// outstanding is the invariant checker's hole-accounting fold: a
+// commutative sum, annotated as such.
+func outstanding(missing map[int32]map[uint64]struct{}) int {
+	total := 0
+	//nicwarp:ordered commutative sum over hole sets
+	for _, holes := range missing {
+		total += len(holes)
+	}
+	return total
+}
+
+// touchedPeers collects and sorts before use — the shape the quiescence
+// checks walk flow-control pairs in.
+func touchedPeers(credits map[int32]int) []int32 {
+	peers := make([]int32, 0, len(credits))
+	for p := range credits {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	return peers
+}
+
+// retxAfter keeps the retransmission delay in the hardware clock domain;
+// the packet's virtual timestamp never leaks into it.
+func retxAfter(base, retx vtime.ModelTime) vtime.ModelTime {
+	return base + retx
+}

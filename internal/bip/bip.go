@@ -11,6 +11,16 @@
 // be detected". Here the receive side detects gaps — which, on the reliable
 // FIFO fabric, can only be deliberate drops — and reports them upward
 // instead of treating them as loss.
+//
+// The endpoint has two modes. In the default strict mode any sequence
+// regression (duplicate or reordering) is a protocol error: the fabric is
+// FIFO per path, so a regression can only be a model bug, and the endpoint
+// panics. Tolerant mode (SetTolerant) exists for the fault-injection
+// plane, whose link faults deliberately duplicate, reorder and
+// retransmit: there the endpoint keeps a per-source set of outstanding
+// missing sequence numbers so a late arrival fills its hole exactly once
+// and a genuine duplicate is identified and discarded — the classifying
+// layer real BIP's sequence numbers make possible.
 package bip
 
 import (
@@ -20,17 +30,55 @@ import (
 	"nicwarp/internal/stats"
 )
 
+// Verdict classifies one received packet against the sequence stream.
+type Verdict int
+
+const (
+	// VerdictFresh is a packet at (or beyond) the expected sequence
+	// number; beyond opens a gap.
+	VerdictFresh Verdict = iota
+	// VerdictLate is a packet filling a previously detected gap (only in
+	// tolerant mode — a retransmitted or long-delayed packet).
+	VerdictLate
+	// VerdictDuplicate is a packet already delivered; the caller must
+	// discard it without side effects.
+	VerdictDuplicate
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictFresh:
+		return "fresh"
+	case VerdictLate:
+		return "late"
+	case VerdictDuplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
 // Endpoint is one node's BIP instance.
 type Endpoint struct {
-	node    int
-	nextSeq map[int32]uint64 // per destination, next sequence to assign
-	expect  map[int32]uint64 // per source, next sequence expected
+	node     int
+	tolerant bool
+	nextSeq  map[int32]uint64 // per destination, next sequence to assign
+	expect   map[int32]uint64 // per source, next sequence expected
+	// missing tracks, per source, the sequence numbers inside detected
+	// gaps that have not yet been filled by a late arrival. In strict
+	// mode holes are never filled (deliberate NIC drops on a FIFO fabric
+	// are permanent), so the set is exactly the permanent-hole record the
+	// invariant checker reconciles against the sender NIC's drop counts.
+	missing map[int32]map[uint64]struct{}
 
 	// Stats.
 	Stamped      stats.Counter // packets stamped on the send side
 	Accepted     stats.Counter // packets accepted on the receive side
 	GapsDetected stats.Counter // receive-side gap episodes
-	MissingSeqs  stats.Counter // total sequence numbers skipped (dropped packets)
+	MissingSeqs  stats.Counter // total sequence numbers skipped at detection time
+	LateFilled   stats.Counter // gap holes later filled by a late arrival
+	Duplicates   stats.Counter // duplicate deliveries identified and discarded
 }
 
 // New creates the endpoint for a node.
@@ -41,6 +89,11 @@ func New(node int) *Endpoint {
 		expect:  make(map[int32]uint64),
 	}
 }
+
+// SetTolerant switches the endpoint between strict mode (regressions
+// panic) and tolerant mode (regressions are classified as late fills or
+// duplicates). Call before traffic flows.
+func (e *Endpoint) SetTolerant(v bool) { e.tolerant = v }
 
 // Stamp assigns the next sequence number for the packet's destination.
 // Sequence numbers start at 1; zero marks NIC-originated packets that never
@@ -54,25 +107,82 @@ func (e *Endpoint) Stamp(pkt *proto.Packet) {
 	e.Stamped.Inc()
 }
 
-// Accept verifies the packet's sequence number against the per-source
-// expectation and returns the number of sequence numbers that were skipped
-// (packets deliberately dropped in flight by the NIC). The fabric is FIFO
-// per path, so a regression (duplicate or reordering) is a protocol error.
+// Accept verifies the packet's sequence number and returns the number of
+// sequence numbers newly detected missing. Kept for strict-mode callers
+// and tests; AcceptV is the full interface.
 func (e *Endpoint) Accept(pkt *proto.Packet) (missing int) {
+	_, missing = e.AcceptV(pkt)
+	return missing
+}
+
+// AcceptV verifies the packet's sequence number against the per-source
+// expectation. It returns the packet's verdict and, for a fresh packet
+// that opened a gap, how many sequence numbers were skipped.
+//
+// In strict mode a sequence regression panics: on the reliable FIFO
+// fabric it can only be a model bug. In tolerant mode a regression is
+// either a late arrival filling a known hole (deliver it) or a duplicate
+// (discard it).
+func (e *Endpoint) AcceptV(pkt *proto.Packet) (Verdict, int) {
 	if pkt.Seq == 0 {
-		return 0 // NIC-originated packet outside the BIP stream
+		return VerdictFresh, 0 // NIC-originated packet outside the BIP stream
 	}
-	e.Accepted.Inc()
 	want := e.expect[pkt.SrcNode] + 1
 	if pkt.Seq < want {
-		panic(fmt.Sprintf("bip: node %d got stale/duplicate seq %d from node %d (want >= %d)",
-			e.node, pkt.Seq, pkt.SrcNode, want))
+		if !e.tolerant {
+			panic(fmt.Sprintf("bip: node %d got stale/duplicate seq %d from node %d (want >= %d)",
+				e.node, pkt.Seq, pkt.SrcNode, want))
+		}
+		if holes := e.missing[pkt.SrcNode]; holes != nil {
+			if _, open := holes[pkt.Seq]; open {
+				delete(holes, pkt.Seq)
+				e.LateFilled.Inc()
+				e.Accepted.Inc()
+				return VerdictLate, 0
+			}
+		}
+		e.Duplicates.Inc()
+		return VerdictDuplicate, 0
 	}
+	e.Accepted.Inc()
+	missing := 0
 	if pkt.Seq > want {
 		missing = int(pkt.Seq - want)
 		e.GapsDetected.Inc()
 		e.MissingSeqs.Add(int64(missing))
+		holes := e.missing[pkt.SrcNode]
+		if holes == nil {
+			if e.missing == nil {
+				e.missing = make(map[int32]map[uint64]struct{})
+			}
+			holes = make(map[uint64]struct{})
+			e.missing[pkt.SrcNode] = holes
+		}
+		for s := want; s < pkt.Seq; s++ {
+			holes[s] = struct{}{}
+		}
 	}
 	e.expect[pkt.SrcNode] = pkt.Seq
-	return missing
+	return VerdictFresh, missing
 }
+
+// MissingFrom returns the number of still-open sequence holes from src.
+func (e *Endpoint) MissingFrom(src int32) int { return len(e.missing[src]) }
+
+// OutstandingMissing returns the total number of still-open sequence
+// holes across all sources. In strict mode holes are never filled, so
+// this equals the cumulative MissingSeqs count.
+func (e *Endpoint) OutstandingMissing() int {
+	total := 0
+	//nicwarp:ordered commutative sum over hole sets
+	for _, holes := range e.missing {
+		total += len(holes)
+	}
+	return total
+}
+
+// StampedTo returns the highest sequence number stamped toward dst.
+func (e *Endpoint) StampedTo(dst int32) uint64 { return e.nextSeq[dst] }
+
+// HighestFrom returns the highest sequence number accepted from src.
+func (e *Endpoint) HighestFrom(src int32) uint64 { return e.expect[src] }

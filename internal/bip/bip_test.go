@@ -96,3 +96,125 @@ func TestAcceptDuplicatePanics(t *testing.T) {
 	}()
 	e.Accept(pkt(0, 1, 1))
 }
+
+// TestTolerantClassification drives one tolerant-mode endpoint through
+// arrival sequences that mix deliberate NIC drops (permanent holes),
+// retransmissions (late fills) and fabric duplicates, and checks every
+// per-packet verdict plus the final hole accounting. This is the
+// classification layer the fault plane's duplicate-drop scenarios and the
+// bip-gap-accounting invariant lean on.
+func TestTolerantClassification(t *testing.T) {
+	type step struct {
+		seq         uint64
+		wantVerdict Verdict
+		wantMissing int // newly detected missing seqs for this arrival
+	}
+	cases := []struct {
+		name            string
+		steps           []step
+		wantOutstanding int   // open holes from src 0 at the end
+		wantLateFilled  int64 // LateFilled counter at the end
+		wantDuplicates  int64 // Duplicates counter at the end
+	}{
+		{
+			name: "in-order stream stays clean",
+			steps: []step{
+				{1, VerdictFresh, 0}, {2, VerdictFresh, 0}, {3, VerdictFresh, 0},
+			},
+		},
+		{
+			name: "single drop leaves a permanent hole",
+			steps: []step{
+				{1, VerdictFresh, 0}, {3, VerdictFresh, 1},
+			},
+			wantOutstanding: 1,
+		},
+		{
+			name: "retransmission fills its hole exactly once",
+			steps: []step{
+				{1, VerdictFresh, 0},
+				{3, VerdictFresh, 1},     // gap: 2 missing
+				{2, VerdictLate, 0},      // retransmit fills it
+				{2, VerdictDuplicate, 0}, // second copy is a duplicate
+			},
+			wantLateFilled: 1,
+			wantDuplicates: 1,
+		},
+		{
+			name: "duplicate of a delivered packet never reopens the stream",
+			steps: []step{
+				{1, VerdictFresh, 0}, {2, VerdictFresh, 0},
+				{1, VerdictDuplicate, 0}, {2, VerdictDuplicate, 0},
+				{3, VerdictFresh, 0},
+			},
+			wantDuplicates: 2,
+		},
+		{
+			name: "duplicate inside an open gap is not a fill",
+			steps: []step{
+				{2, VerdictFresh, 1},     // gap: 1 missing
+				{2, VerdictDuplicate, 0}, // dup of the delivered packet, hole stays
+			},
+			wantOutstanding: 1,
+			wantDuplicates:  1,
+		},
+		{
+			name: "reordered burst resolves to no holes",
+			steps: []step{
+				{1, VerdictFresh, 0},
+				{4, VerdictFresh, 2}, // gap: 2,3 missing
+				{3, VerdictLate, 0},
+				{2, VerdictLate, 0},
+				{5, VerdictFresh, 0},
+			},
+			wantLateFilled: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New(1)
+			e.SetTolerant(true)
+			for i, s := range tc.steps {
+				v, missing := e.AcceptV(pkt(0, 1, s.seq))
+				if v != s.wantVerdict || missing != s.wantMissing {
+					t.Fatalf("step %d (seq %d): got (%v, %d), want (%v, %d)",
+						i, s.seq, v, missing, s.wantVerdict, s.wantMissing)
+				}
+			}
+			if got := e.MissingFrom(0); got != tc.wantOutstanding {
+				t.Errorf("MissingFrom(0) = %d, want %d", got, tc.wantOutstanding)
+			}
+			if got := e.OutstandingMissing(); got != tc.wantOutstanding {
+				t.Errorf("OutstandingMissing() = %d, want %d", got, tc.wantOutstanding)
+			}
+			if got := e.LateFilled.Value(); got != tc.wantLateFilled {
+				t.Errorf("LateFilled = %d, want %d", got, tc.wantLateFilled)
+			}
+			if got := e.Duplicates.Value(); got != tc.wantDuplicates {
+				t.Errorf("Duplicates = %d, want %d", got, tc.wantDuplicates)
+			}
+		})
+	}
+}
+
+// TestTolerantHolesArePerSource checks hole bookkeeping does not bleed
+// between source streams.
+func TestTolerantHolesArePerSource(t *testing.T) {
+	e := New(2)
+	e.SetTolerant(true)
+	e.AcceptV(pkt(0, 2, 2)) // src 0: hole at 1
+	e.AcceptV(pkt(1, 2, 3)) // src 1: holes at 1,2
+	if e.MissingFrom(0) != 1 || e.MissingFrom(1) != 2 {
+		t.Fatalf("per-source holes = %d,%d, want 1,2", e.MissingFrom(0), e.MissingFrom(1))
+	}
+	if e.OutstandingMissing() != 3 {
+		t.Fatalf("OutstandingMissing = %d, want 3", e.OutstandingMissing())
+	}
+	// src 1's seq-1 fill must not touch src 0's hole at the same number.
+	if v, _ := e.AcceptV(pkt(1, 2, 1)); v != VerdictLate {
+		t.Fatalf("src 1 retransmit verdict = %v, want late", v)
+	}
+	if e.MissingFrom(0) != 1 || e.MissingFrom(1) != 1 {
+		t.Fatalf("after fill: per-source holes = %d,%d, want 1,1", e.MissingFrom(0), e.MissingFrom(1))
+	}
+}

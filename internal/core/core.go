@@ -18,8 +18,10 @@ import (
 
 	"nicwarp/internal/bip"
 	"nicwarp/internal/des"
+	"nicwarp/internal/fault"
 	"nicwarp/internal/gvt"
 	"nicwarp/internal/hostmodel"
+	"nicwarp/internal/invariant"
 	"nicwarp/internal/iobus"
 	"nicwarp/internal/mpich"
 	"nicwarp/internal/nic"
@@ -125,6 +127,17 @@ type Config struct {
 	// (GVT, processed/rolled-back counts, utilization) at this model-time
 	// interval into Result.Samples.
 	SampleEvery vtime.ModelTime
+
+	// Fault installs the deterministic fault-injection plane at the
+	// fabric and NIC-ring layer. The zero Plan injects nothing. The plan
+	// is plain comparable data, so it participates in Config.Digest and
+	// the runner cache key automatically.
+	Fault fault.Plan
+
+	// CheckInvariants wires the runtime protocol-invariant oracles
+	// (internal/invariant) into the run and attaches their report to
+	// Result.Invariants. Enabled implicitly when a fault plan is set.
+	CheckInvariants bool
 }
 
 // WithDefaults returns the config with zero values replaced by defaults.
@@ -185,6 +198,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Costs.Validate(); err != nil {
 		return err
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return &FieldError{Field: "Fault", Value: c.Fault.Scenario, Reason: err.Error()}
 	}
 	return c.Flow.Validate()
 }
@@ -281,6 +297,9 @@ type Cluster struct {
 	gvtFW    []*firmware.GVTFirmware    // per node, when GVTNIC
 	cancelFW []*firmware.CancelFirmware // per node, when EarlyCancel
 
+	plane   *fault.Plane       // fault-injection plane, when cfg.Fault is set
+	checker *invariant.Checker // protocol oracles, when cfg.CheckInvariants
+
 	// pktFree recycles event/anti packets: acquired in transmitEvent (which
 	// fully overwrites every field) and released when the destination host
 	// has decoded them. Control packets and broadcast clones are allocated
@@ -331,6 +350,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	cl.fabric = simnet.NewFabric(cl.eng, cfg.Net, cfg.Nodes)
 	cl.gvtFW = make([]*firmware.GVTFirmware, cfg.Nodes)
 	cl.cancelFW = make([]*firmware.CancelFirmware, cfg.Nodes)
+
+	if cfg.Fault.Enabled() {
+		cl.plane = fault.NewPlane(cl.eng, cfg.Fault, cfg.Nodes)
+		cl.fabric.SetTap(cl.plane)
+	}
+	if cfg.CheckInvariants || cfg.Fault.Enabled() {
+		cl.checker = invariant.NewChecker(cfg.Nodes)
+	}
 
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &node{id: i, cluster: cl}
@@ -383,9 +410,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 
 		n.bipEnd = bip.New(i)
+		if cfg.Fault.Enabled() {
+			// Wire faults duplicate, reorder and retransmit; the endpoint
+			// must classify regressions instead of treating them as model
+			// bugs.
+			n.bipEnd.SetTolerant(true)
+		}
 		n.flow = mpich.New(i, cfg.Flow, n.bipTransmit)
 
 		n.nicDev.Wire(n.nicDeliver, n.nicNotify)
+		if cl.checker != nil {
+			nd := n
+			n.nicDev.SetHostDiscardHook(func(p *proto.Packet) {
+				cl.checker.OnNICDiscard(nd.id, p)
+			})
+		}
 		cl.nodes = append(cl.nodes, n)
 	}
 
@@ -443,6 +482,14 @@ func (cl *Cluster) Run() (*Result, error) {
 	if cl.cfg.SampleEvery > 0 {
 		cl.scheduleSample()
 	}
+	if cl.plane != nil {
+		rings := make([]fault.RingCtrl, len(cl.nodes))
+		for i, n := range cl.nodes {
+			rings[i] = n.nicDev
+		}
+		cl.plane.InstallRings(rings, cl.anyBusy)
+		cl.plane.Start()
+	}
 	cl.eng.Run(cl.cfg.MaxModelTime)
 	if cl.eng.Pending() > 0 {
 		return nil, fmt.Errorf("core: run exceeded MaxModelTime=%v (pending=%d)",
@@ -457,6 +504,9 @@ func (cl *Cluster) Run() (*Result, error) {
 				n.id, n.flow.WaitingCount())
 		}
 	}
+	if cl.checker != nil {
+		cl.runQuiescenceChecks()
+	}
 	res := cl.collect()
 	if cl.cfg.VerifyOracle {
 		if err := cl.verifyOracle(res); err != nil {
@@ -464,6 +514,87 @@ func (cl *Cluster) Run() (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// anyBusy reports whether any node still has real model work: the fault
+// plane's episode timers re-arm on this probe. It deliberately excludes
+// eng.Pending() — counting the plane's own timers would keep the episode
+// chains alive forever and run the model to the horizon.
+func (cl *Cluster) anyBusy() bool {
+	for _, n := range cl.nodes {
+		if n.kernel.HasWork() || !n.cpu.Idle() || !n.nicDev.Idle() || n.flow.WaitingCount() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// invariantFloor computes the host-visible part of the true GVT bound:
+// the minimum over every node's LVT and the receive timestamps of kernel
+// output parked in send batches (emitted by the kernel, not yet handed to
+// the protocol stack — the only messages the checker's in-transit map
+// cannot see yet).
+func (cl *Cluster) invariantFloor() vtime.VTime {
+	floor := vtime.Infinity
+	for _, n := range cl.nodes {
+		if lvt := n.kernel.LVT(); lvt < floor {
+			floor = lvt
+		}
+		for _, batch := range n.sendBatches[n.batchHead:] {
+			for _, ev := range batch {
+				if ev.RecvTS < floor {
+					floor = ev.RecvTS
+				}
+			}
+		}
+	}
+	return floor
+}
+
+// runQuiescenceChecks feeds the drained cluster's final state to the
+// invariant oracles: per-pair credit conservation, BIP gap accounting
+// against the NIC drop records, ledger drain, anti annihilation, and
+// message conservation.
+func (cl *Cluster) runQuiescenceChecks() {
+	ck := cl.checker
+	window := cl.cfg.Flow.Window
+	for _, s := range cl.nodes {
+		for _, peer := range s.flow.TouchedPeers() {
+			if int(peer) == s.id {
+				continue
+			}
+			ck.CheckCreditPair(s.id, int(peer),
+				s.flow.CreditsAvailable(peer),
+				cl.nodes[peer].flow.OwedTo(int32(s.id)),
+				window)
+		}
+		w := s.nicDev.Shared()
+		for _, r := range cl.nodes {
+			if r.id == s.id {
+				continue
+			}
+			stamped := s.bipEnd.StampedTo(int32(r.id))
+			highest := r.bipEnd.HighestFrom(int32(s.id))
+			holes := r.bipEnd.MissingFrom(int32(s.id))
+			drops := w.DropsByDst[int32(r.id)]
+			if stamped == 0 && highest == 0 && holes == 0 && drops == 0 {
+				continue
+			}
+			ck.CheckBIPPair(s.id, r.id, holes, stamped, highest, drops)
+		}
+		var refundLeft, salvageLeft int64
+		//nicwarp:ordered commutative sum over undrained refunds
+		for _, v := range w.CreditRefund {
+			refundLeft += v
+		}
+		//nicwarp:ordered commutative sum over undrained salvage
+		for _, v := range w.CreditSalvage {
+			salvageLeft += v
+		}
+		ck.CheckDrained(s.id, refundLeft, salvageLeft)
+		ck.CheckZombies(s.id, s.kernel.ZombieCount(), w.Dropped.Evictions.Value())
+	}
+	ck.CheckTransitEmpty()
 }
 
 // verifyOracle compares committed results with a sequential run of a fresh
@@ -636,6 +767,9 @@ func (n *node) transmitEvent(ev *timewarp.Event) {
 	}
 	n.kernel.Recycle(ev)
 	n.eventsBuilt.Inc()
+	if ck := n.cluster.checker; ck != nil {
+		ck.OnSent(pkt)
+	}
 	n.mgr.OnSent(view{n}, pkt)
 	n.flow.Send(pkt)
 }
@@ -762,7 +896,20 @@ func sortedNodeKeys(m map[int32]int64) []int32 {
 
 // hostReceive integrates one inbound packet on the host.
 func (n *node) hostReceive(pkt *proto.Packet) {
-	n.bipEnd.Accept(pkt)
+	verdict, _ := n.bipEnd.AcceptV(pkt)
+	if verdict == bip.VerdictDuplicate {
+		// A wire-fault duplicate: discard before any layer sees it — a
+		// second flow.OnReceive would double-count piggybacked credit and
+		// a second kernel.Deliver would corrupt the simulation. This is
+		// exactly the protection BIP's sequence numbers buy.
+		if ck := n.cluster.checker; ck != nil {
+			ck.OnDuplicate(n.id, pkt)
+		}
+		if pkt.IsEventLike() {
+			n.cluster.releasePacket(pkt)
+		}
+		return
+	}
 	if reply := n.flow.OnReceive(pkt); reply != nil {
 		c := n.cpu.Costs
 		n.cpu.Do(hostmodel.CatComm, c.SendOverhead, func() {
@@ -773,6 +920,9 @@ func (n *node) hostReceive(pkt *proto.Packet) {
 	case proto.KindEvent, proto.KindAnti:
 		if pkt.Kind == proto.KindAnti {
 			n.remoteAntisDelivered++
+		}
+		if ck := n.cluster.checker; ck != nil {
+			ck.OnDelivered(n.id, pkt)
 		}
 		n.mgr.OnReceived(view{n}, pkt)
 		n.scratchEv = timewarp.Event{
@@ -817,6 +967,17 @@ func (n *node) hostReceive(pkt *proto.Packet) {
 // commitGVT installs a new GVT value on this node.
 func (n *node) commitGVT(g vtime.VTime) {
 	cl := n.cluster
+	if ck := cl.checker; ck != nil {
+		reported := g
+		// SkewGVT is the test-only broken-invariant hook: it skews only
+		// the value reported to the oracle, never the value the kernels
+		// act on, so the run stays sound while the gvt-safety oracle must
+		// flag it.
+		if skew := cl.cfg.Fault.Spec.SkewGVT; skew > 0 && !g.IsInf() {
+			reported = vtime.AddSat(g, skew)
+		}
+		ck.OnCommitGVT(n.id, reported, cl.invariantFloor())
+	}
 	if g > cl.finalGVT || cl.finalGVT == -1 {
 		cl.finalGVT = g
 	}

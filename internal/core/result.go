@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"nicwarp/internal/gvt"
+	"nicwarp/internal/invariant"
 	"nicwarp/internal/vtime"
 )
 
@@ -70,11 +71,21 @@ type Result struct {
 	HostRollbackTime vtime.ModelTime
 
 	// Flow control.
-	FlowBlocked  int64 // packets that waited for credit
-	CreditMsgs   int64
-	BIPGaps      int64 // receive-side sequence gaps (should equal drop count)
-	BIPMissing   int64 // missing sequence numbers observed
-	CreditRepair int64 // credits refunded for packets dropped in place
+	FlowBlocked    int64 // packets that waited for credit
+	CreditMsgs     int64
+	BIPGaps        int64 // receive-side sequence gaps (should equal drop count)
+	BIPMissing     int64 // missing sequence numbers observed at detection time
+	BIPLateFilled  int64 // gap holes later filled by late/retransmitted packets
+	BIPDuplicates  int64 // duplicate deliveries identified and discarded
+	BIPOutstanding int64 // sequence holes still open at quiescence
+	CreditRepair   int64 // credits refunded for packets dropped in place
+
+	// Fault accounting (zero unless Config.Fault was set).
+	FaultsInjected int64 // total fault decisions that bit (drops, dups, delays, holds, stalls)
+
+	// Invariants is the protocol-oracle report when Config.CheckInvariants
+	// (or a fault plan) was set; nil otherwise.
+	Invariants *invariant.Report
 
 	// Samples is the run-time series when Config.SampleEvery was set.
 	Samples []Sample
@@ -171,6 +182,15 @@ func (cl *Cluster) collect() *Result {
 		r.CreditRepair += n.flow.Refunded.Value()
 		r.BIPGaps += n.bipEnd.GapsDetected.Value()
 		r.BIPMissing += n.bipEnd.MissingSeqs.Value()
+		r.BIPLateFilled += n.bipEnd.LateFilled.Value()
+		r.BIPDuplicates += n.bipEnd.Duplicates.Value()
+		r.BIPOutstanding += int64(n.bipEnd.OutstandingMissing())
+	}
+	if cl.plane != nil {
+		r.FaultsInjected = cl.plane.Injected()
+	}
+	if cl.checker != nil {
+		r.Invariants = cl.checker.Report()
 	}
 	nNodes := float64(len(cl.nodes))
 	r.HostUtil /= nNodes

@@ -1,0 +1,247 @@
+// Package fault is the deterministic fault-injection plane: a seeded
+// adversary installed at the simnet link layer and the NIC ring layer that
+// can drop, duplicate, delay, reorder and corrupt packets, exhaust NIC
+// send/recv rings, and degrade individual links.
+//
+// The plane exists to turn the paper's robustness claims into checked
+// properties. Early cancellation only works because credit-based flow
+// control (MPICH) and sequence numbering (BIP) are *repaired* to tolerate
+// deliberate in-place drops, and NIC-GVT must stay correct while its
+// tokens ride a contended fabric; the fault plane subjects those repairs
+// to adversarial schedules while internal/invariant checks the protocol
+// invariants the repairs are supposed to preserve.
+//
+// Determinism is load-bearing (as everywhere in this reproduction): every
+// fault decision is drawn from a per-component xorshift stream derived from
+// the Plan seed, so a Plan replays byte-identically — the property the
+// stress harness's seed shrinking and the runner cache both rely on.
+//
+// Loss semantics. The wire faults this plane injects are *recoverable*:
+// a dropped or corrupted packet is re-offered to the fabric after a retry
+// delay (geometric retries, every coin flip seeded), which models a
+// link-level retransmission layer. Upper layers therefore still see
+// loss-free — if arbitrarily reordered — semantics, and the BIP gap
+// accounting still attributes every *permanent* hole to a deliberate NIC
+// drop. The two hostile knobs (TrueLossProb, SkewGVT) break that contract
+// on purpose: they exist so the stress harness can prove the oracles catch
+// real violations (and shrink them to a one-line repro).
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"nicwarp/internal/vtime"
+)
+
+// Spec is the pure-data description of a fault load. All fields are scalar
+// and comparable so a Spec embeds in core.Config and participates in
+// Config.Digest; the zero value injects nothing.
+type Spec struct {
+	// DropProb is the per-packet probability of a link-level loss. Lost
+	// packets are re-offered after RetxDelay (recoverable loss).
+	DropProb float64
+	// RetxDelay is the model-time delay before a dropped or corrupted
+	// packet is re-offered to the fabric.
+	RetxDelay vtime.ModelTime
+
+	// DupProb is the per-packet probability of duplication; the copy is
+	// routed DupDelay later.
+	DupProb  float64
+	DupDelay vtime.ModelTime
+
+	// DelayProb is the per-packet probability of an extra delay, uniform
+	// in (0, DelayMax], applied before output-port contention — delayed
+	// packets are genuinely overtaken, so high DelayProb with small
+	// DelayMax is a reordering fault.
+	DelayProb float64
+	DelayMax  vtime.ModelTime
+
+	// CorruptProb is the per-packet probability of wire corruption. The
+	// corruption is detected by the modeled link CRC (proto.Checksum) and
+	// handled as a recoverable loss.
+	CorruptProb float64
+
+	// DegradeLinks picks that many ports (seeded) whose traffic — in or
+	// out — suffers a constant DegradeDelay. A constant per-path delay
+	// preserves per-path FIFO order, so degradation composes safely with
+	// the NIC-originated GVT control plane.
+	DegradeLinks int
+	DegradeDelay vtime.ModelTime
+
+	// RxHoldSlots/RxHoldEvery/RxHoldFor describe receive-ring exhaustion
+	// episodes: roughly every RxHoldEvery of model time, up to RxHoldSlots
+	// receive slots are held for RxHoldFor, backpressuring senders through
+	// Myrinet stop/go exactly as a slow host would.
+	RxHoldSlots int
+	RxHoldEvery vtime.ModelTime
+	RxHoldFor   vtime.ModelTime
+
+	// TxStallEvery/TxStallFor describe transmit-pump stalls (a busy NIC
+	// processor): the send queue accumulates backlog — the buffering early
+	// cancellation preys on.
+	TxStallEvery vtime.ModelTime
+	TxStallFor   vtime.ModelTime
+
+	// TrueLossProb is HOSTILE: real loss with no retransmission. The
+	// protocol stack is not repaired against it, so credit windows wedge,
+	// BIP holes never close and white message counts never balance —
+	// deliberately violating the invariants so the oracles (and the run
+	// itself) catch it.
+	TrueLossProb float64
+
+	// SkewGVT is HOSTILE and test-only: it skews the GVT value *reported
+	// to the invariant checker* (never the value the kernels act on) by
+	// this much, so a run stays sound while the GVT-safety oracle must
+	// flag it. Used to prove the oracle catches an unsafe GVT estimate.
+	SkewGVT vtime.VTime
+}
+
+// Plan is a named, seeded fault scenario: pure data, comparable, and part
+// of core.Config (and therefore of Config.Digest and the runner cache
+// key). The zero Plan injects nothing.
+type Plan struct {
+	// Scenario is the registry name the Spec was resolved from ("drop",
+	// "chaos", ...); informational, but part of the config identity.
+	Scenario string
+	// Seed drives every fault decision, independently of the model seed.
+	Seed uint64
+	// Spec is the fault load.
+	Spec Spec
+}
+
+// Enabled reports whether the plan injects any fault at all.
+func (p Plan) Enabled() bool { return p.Spec != Spec{} }
+
+// Hostile reports whether the plan breaks loss-free semantics on purpose
+// (true loss or a skewed oracle report). Hostile plans are expected to
+// fail runs or invariant checks; they are excluded from default stress
+// matrices.
+func (p Plan) Hostile() bool { return p.Spec.TrueLossProb > 0 || p.Spec.SkewGVT > 0 }
+
+// Validate rejects malformed fault loads.
+func (p Plan) Validate() error {
+	s := p.Spec
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropProb", s.DropProb},
+		{"DupProb", s.DupProb},
+		{"DelayProb", s.DelayProb},
+		{"CorruptProb", s.CorruptProb},
+		{"TrueLossProb", s.TrueLossProb},
+	} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: %s = %v outside [0, 1]", pr.name, pr.v)
+		}
+	}
+	if (s.DropProb > 0 || s.CorruptProb > 0) && s.RetxDelay <= 0 {
+		return fmt.Errorf("fault: DropProb/CorruptProb need a positive RetxDelay (got %v)", s.RetxDelay)
+	}
+	if s.DelayProb > 0 && s.DelayMax <= 0 {
+		return fmt.Errorf("fault: DelayProb needs a positive DelayMax (got %v)", s.DelayMax)
+	}
+	if s.DupProb > 0 && s.DupProb > 0.5 {
+		return fmt.Errorf("fault: DupProb %v too high (duplicates re-roll; keep <= 0.5)", s.DupProb)
+	}
+	if s.DegradeLinks < 0 || (s.DegradeLinks > 0 && s.DegradeDelay <= 0) {
+		return fmt.Errorf("fault: DegradeLinks %d needs a positive DegradeDelay", s.DegradeLinks)
+	}
+	if s.RxHoldEvery > 0 && (s.RxHoldSlots <= 0 || s.RxHoldFor <= 0) {
+		return fmt.Errorf("fault: RxHoldEvery needs positive RxHoldSlots and RxHoldFor")
+	}
+	if s.TxStallEvery > 0 && s.TxStallFor <= 0 {
+		return fmt.Errorf("fault: TxStallEvery needs a positive TxStallFor")
+	}
+	return nil
+}
+
+// scenario is one registry entry.
+type scenario struct {
+	name    string
+	desc    string
+	hostile bool
+	spec    Spec
+}
+
+// scenarios is the registry, in presentation order. Probabilities are
+// chosen so small smoke workloads still see tens of fault events while
+// recoverable-loss retries stay cheap.
+func scenarios() []scenario {
+	const us = vtime.Microsecond
+	return []scenario{
+		{name: "drop", desc: "recoverable link loss (2%, retx 20us)",
+			spec: Spec{DropProb: 0.02, RetxDelay: 20 * us}},
+		{name: "dup", desc: "packet duplication (2%, copy +5us)",
+			spec: Spec{DupProb: 0.02, DupDelay: 5 * us}},
+		{name: "delay", desc: "long random delays (5%, up to 50us)",
+			spec: Spec{DelayProb: 0.05, DelayMax: 50 * us}},
+		{name: "reorder", desc: "aggressive reordering (30%, up to 8us)",
+			spec: Spec{DelayProb: 0.30, DelayMax: 8 * us}},
+		{name: "corrupt", desc: "wire corruption caught by link CRC (1%, retx 20us)",
+			spec: Spec{CorruptProb: 0.01, RetxDelay: 20 * us}},
+		{name: "degrade", desc: "two degraded links (+20us each way)",
+			spec: Spec{DegradeLinks: 2, DegradeDelay: 20 * us}},
+		{name: "ringstress", desc: "NIC rx-ring exhaustion and tx stalls",
+			spec: Spec{RxHoldSlots: 3, RxHoldEvery: 300 * us, RxHoldFor: 60 * us,
+				TxStallEvery: 400 * us, TxStallFor: 50 * us}},
+		{name: "chaos", desc: "drop + dup + reorder + one degraded link",
+			spec: Spec{DropProb: 0.01, RetxDelay: 20 * us, DupProb: 0.01, DupDelay: 5 * us,
+				DelayProb: 0.10, DelayMax: 10 * us, DegradeLinks: 1, DegradeDelay: 15 * us}},
+		{name: "trueloss", hostile: true,
+			desc: "HOSTILE: unrecoverable loss (0.5%) — runs must fail or flag invariants",
+			spec: Spec{TrueLossProb: 0.005}},
+		{name: "skewgvt", hostile: true,
+			desc: "HOSTILE: skews the GVT value reported to the oracle — must be flagged",
+			spec: Spec{SkewGVT: 1 << 40}},
+	}
+}
+
+// Scenarios returns the non-hostile scenario names, in registry order —
+// the default stress matrix.
+func Scenarios() []string {
+	var names []string
+	for _, s := range scenarios() {
+		if !s.hostile {
+			names = append(names, s.name)
+		}
+	}
+	return names
+}
+
+// AllScenarios returns every scenario name, hostile ones included.
+func AllScenarios() []string {
+	var names []string
+	for _, s := range scenarios() {
+		names = append(names, s.name)
+	}
+	return names
+}
+
+// Describe returns the one-line description of a scenario, or "".
+func Describe(name string) string {
+	for _, s := range scenarios() {
+		if s.name == name {
+			return s.desc
+		}
+	}
+	return ""
+}
+
+// PlanFor resolves a scenario name and seed into a Plan. The name "none"
+// (or "") resolves to the zero plan, so matrices can include a fault-free
+// baseline point uniformly.
+func PlanFor(name string, seed uint64) (Plan, error) {
+	if name == "" || name == "none" {
+		return Plan{}, nil
+	}
+	for _, s := range scenarios() {
+		if s.name == name {
+			return Plan{Scenario: s.name, Seed: seed, Spec: s.spec}, nil
+		}
+	}
+	valid := AllScenarios()
+	sort.Strings(valid)
+	return Plan{}, fmt.Errorf("fault: unknown scenario %q (valid: %v, or \"none\")", name, valid)
+}

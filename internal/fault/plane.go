@@ -1,0 +1,229 @@
+package fault
+
+import (
+	"nicwarp/internal/des"
+	"nicwarp/internal/proto"
+	"nicwarp/internal/rng"
+	"nicwarp/internal/simnet"
+	"nicwarp/internal/stats"
+	"nicwarp/internal/vtime"
+)
+
+// Component bases for rng.NewFor streams. Wire, ring and setup decisions
+// draw from disjoint streams so the coin-flip sequence on one port never
+// shifts when an unrelated knob is toggled.
+const (
+	componentDegrade = 0x0F00_0001
+	componentWire    = 0x0F01_0000 // + source port
+	componentRing    = 0x0F02_0000 // + node
+)
+
+// RingCtrl is the slice of the NIC surface the ring-exhaustion faults
+// drive. *nic.NIC implements it.
+type RingCtrl interface {
+	// FaultHoldRx occupies up to k receive-ring slots, returning how many
+	// were actually taken (never more than the ring has).
+	FaultHoldRx(k int) int
+	// FaultReleaseRx releases slots previously taken by FaultHoldRx.
+	FaultReleaseRx(k int)
+	// SetTxFaultStall freezes (true) or resumes (false) the transmit pump.
+	SetTxFaultStall(v bool)
+}
+
+// Plane is the runtime fault injector for one cluster: it implements
+// simnet.Tap for wire faults and drives NIC ring-exhaustion episodes.
+// Every decision is drawn from streams seeded by the Plan, so the same
+// Plan replays byte-identically.
+type Plane struct {
+	eng      *des.Engine
+	spec     Spec
+	seed     uint64
+	wire     []rng.Source // per source port
+	degraded []bool       // ports with a constant extra delay
+
+	rings   []RingCtrl
+	ringRng []rng.Source
+	busy    func() bool
+
+	scratch []byte // wire image buffer for the corruption model
+
+	// Counters, for reports and for asserting a scenario actually bit.
+	Dropped         stats.Counter // recoverable link losses
+	Duplicated      stats.Counter // duplicated packets
+	Delayed         stats.Counter // randomly delayed packets
+	CorruptDetected stats.Counter // corruptions caught by the link CRC
+	CorruptMissed   stats.Counter // corruptions the CRC failed to catch
+	TrueLost        stats.Counter // hostile, unrecoverable losses
+	Degraded        stats.Counter // packets that crossed a degraded link
+	RxHolds         stats.Counter // receive-ring slots held by episodes
+	TxStalls        stats.Counter // transmit-pump stall episodes
+}
+
+// NewPlane builds the fault plane for a cluster with numPorts NICs. The
+// plan must already be validated.
+func NewPlane(eng *des.Engine, plan Plan, numPorts int) *Plane {
+	p := &Plane{
+		eng:  eng,
+		spec: plan.Spec,
+		seed: plan.Seed,
+		wire: make([]rng.Source, numPorts),
+	}
+	for i := range p.wire {
+		p.wire[i] = rng.NewFor(plan.Seed, componentWire+uint64(i))
+	}
+	if k := plan.Spec.DegradeLinks; k > 0 {
+		if k > numPorts {
+			k = numPorts
+		}
+		p.degraded = make([]bool, numPorts)
+		r := rng.NewFor(plan.Seed, componentDegrade)
+		for picked := 0; picked < k; {
+			i := r.Intn(numPorts)
+			if !p.degraded[i] {
+				p.degraded[i] = true
+				picked++
+			}
+		}
+	}
+	return p
+}
+
+// OnRoute implements simnet.Tap: one fate decision per routing attempt.
+//
+// NIC-originated control packets (Seq == 0: GVT tokens and broadcasts)
+// are exempt from the random faults. The NIC-GVT token protocol assumes
+// the paper's reliable fabric — duplicating a token or reordering a GVT
+// broadcast against a later one has no physical counterpart and only
+// crashes the model's own bookkeeping, not the protocol under test.
+// Constant link degradation still applies to them: it preserves per-path
+// FIFO order, which is all the control plane needs.
+func (p *Plane) OnRoute(srcPort, dstPort int, pkt *proto.Packet) simnet.TapDecision {
+	var d simnet.TapDecision
+	s := &p.spec
+	if p.degraded != nil && (p.degraded[srcPort] || p.degraded[dstPort]) {
+		d.ExtraDelay += s.DegradeDelay
+		p.Degraded.Inc()
+	}
+	if pkt.Seq == 0 {
+		return d
+	}
+	r := &p.wire[srcPort]
+	if s.TrueLossProb > 0 && r.Float64() < s.TrueLossProb {
+		p.TrueLost.Inc()
+		d.Drop = true
+		d.Redeliver = 0
+		return d
+	}
+	if s.CorruptProb > 0 && r.Float64() < s.CorruptProb {
+		if p.corruptionDetected(r, pkt) {
+			p.CorruptDetected.Inc()
+			d.Drop = true
+			d.Redeliver = s.RetxDelay
+			return d
+		}
+		p.CorruptMissed.Inc()
+	}
+	if s.DropProb > 0 && r.Float64() < s.DropProb {
+		p.Dropped.Inc()
+		d.Drop = true
+		d.Redeliver = s.RetxDelay
+		return d
+	}
+	if s.DupProb > 0 && r.Float64() < s.DupProb {
+		p.Duplicated.Inc()
+		d.Dup = true
+		d.DupDelay = s.DupDelay
+	}
+	if s.DelayProb > 0 && r.Float64() < s.DelayProb {
+		p.Delayed.Inc()
+		d.ExtraDelay += vtime.ModelTime(1 + r.Int63n(int64(s.DelayMax)))
+	}
+	return d
+}
+
+// corruptionDetected models the link CRC: take the packet's wire image,
+// flip one seeded bit, and ask whether the checksum changed. With FNV-1a
+// a single-bit flip is always caught, but the shape keeps the model
+// honest: detection is a property of the code, not an assumption.
+func (p *Plane) corruptionDetected(r *rng.Source, pkt *proto.Packet) bool {
+	p.scratch = pkt.MarshalAppend(p.scratch[:0])
+	sum := proto.Checksum(p.scratch)
+	bit := r.Intn(len(p.scratch) * 8)
+	p.scratch[bit/8] ^= 1 << (bit % 8)
+	return proto.Checksum(p.scratch) != sum
+}
+
+// InstallRings hands the plane the per-node ring controls and a busy
+// probe. The probe must report real model work only (kernels, CPUs, flow
+// control) — never eng.Pending(), which would count the plane's own
+// timers and livelock the run at the horizon.
+func (p *Plane) InstallRings(rings []RingCtrl, busy func() bool) {
+	p.rings = rings
+	p.busy = busy
+	p.ringRng = make([]rng.Source, len(rings))
+	for i := range rings {
+		p.ringRng[i] = rng.NewFor(p.seed, componentRing+uint64(i))
+	}
+}
+
+// Start arms the first ring-exhaustion episodes. Episodes re-arm only
+// while the busy probe is true, so once the model quiesces the fault
+// timers drain and the event heap empties before the horizon.
+func (p *Plane) Start() {
+	if p.rings == nil {
+		return
+	}
+	for i := range p.rings {
+		if p.spec.RxHoldEvery > 0 {
+			p.armRx(i)
+		}
+		if p.spec.TxStallEvery > 0 {
+			p.armTx(i)
+		}
+	}
+}
+
+// jitter spreads episode firings across (period/2, 3*period/2] so nodes
+// don't stall in lockstep.
+func (p *Plane) jitter(r *rng.Source, period vtime.ModelTime) vtime.ModelTime {
+	return period/2 + vtime.ModelTime(1+r.Int63n(int64(period)))
+}
+
+func (p *Plane) armRx(i int) {
+	p.eng.Schedule(p.jitter(&p.ringRng[i], p.spec.RxHoldEvery), func() { p.fireRx(i) })
+}
+
+func (p *Plane) fireRx(i int) {
+	if !p.busy() {
+		return
+	}
+	if held := p.rings[i].FaultHoldRx(p.spec.RxHoldSlots); held > 0 {
+		p.RxHolds.Add(int64(held))
+		ring := p.rings[i]
+		p.eng.Schedule(p.spec.RxHoldFor, func() { ring.FaultReleaseRx(held) })
+	}
+	p.armRx(i)
+}
+
+func (p *Plane) armTx(i int) {
+	p.eng.Schedule(p.jitter(&p.ringRng[i], p.spec.TxStallEvery), func() { p.fireTx(i) })
+}
+
+func (p *Plane) fireTx(i int) {
+	if !p.busy() {
+		return
+	}
+	p.TxStalls.Inc()
+	ring := p.rings[i]
+	ring.SetTxFaultStall(true)
+	p.eng.Schedule(p.spec.TxStallFor, func() { ring.SetTxFaultStall(false) })
+	p.armTx(i)
+}
+
+// Injected reports whether the plane actually did anything — used by the
+// stress harness to assert a scenario bit on a given workload.
+func (p *Plane) Injected() int64 {
+	return p.Dropped.Value() + p.Duplicated.Value() + p.Delayed.Value() +
+		p.CorruptDetected.Value() + p.CorruptMissed.Value() + p.TrueLost.Value() +
+		p.Degraded.Value() + p.RxHolds.Value() + p.TxStalls.Value()
+}

@@ -1,0 +1,272 @@
+// Package invariant implements runtime oracles for the protocol
+// invariants the paper's NIC optimizations must preserve. The checker is
+// wired into the cluster via hooks (message send/delivery/NIC-discard,
+// GVT commit) and a set of quiescence checks the cluster runs after the
+// simulation drains:
+//
+//   - GVT safety: no committed GVT estimate ever exceeds the true
+//     minimum over all LVTs and in-transit message timestamps, and the
+//     sequence of commits per node is monotonic.
+//   - Message conservation: every event or anti-message that leaves a
+//     host is eventually delivered or deliberately discarded at a NIC —
+//     nothing is silently lost or delivered twice.
+//   - Credit conservation: at quiescence, for every (sender, receiver)
+//     pair the sender's remaining credit plus the receiver's owed credit
+//     equals the flow-control window — no stranded credits.
+//   - BIP gap accounting: every permanent hole in a receiver's sequence
+//     space is attributable to a deliberate NIC drop, hole-for-drop.
+//   - Anti annihilation: no unmatched anti-message survives quiescence
+//     (unless drop-buffer evictions legitimately orphaned some).
+//
+// The checker is deterministic: hooks fire inside the single-threaded
+// event engine, violations are recorded in arrival order, and the report
+// is plain data — the same run produces a byte-identical report.
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"nicwarp/internal/proto"
+	"nicwarp/internal/vtime"
+)
+
+// minVTime is the monotonicity sentinel: below any committable estimate.
+const minVTime = vtime.VTime(math.MinInt64)
+
+// TransitKey identifies one in-transit message for conservation
+// accounting. The key is the full semantic identity of a message, so a
+// faulty duplicate delivery (same identity twice) is caught while a
+// legitimate retransmission (same identity, delivered once) is not.
+type TransitKey struct {
+	SrcNode, DstNode int32
+	SrcObj, DstObj   int32
+	SendTS, RecvTS   vtime.VTime
+	EventID          uint64
+	Anti             bool
+}
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	// Rule names the invariant ("gvt-safety", "gvt-monotonic",
+	// "transit-unknown", "transit-leak", "credit-conservation",
+	// "bip-gap-accounting", "credit-undrained", "anti-annihilation").
+	Rule string
+	// Node is the node the violation was observed at (-1 if global).
+	Node int
+	// Detail is a human-readable description with the offending values.
+	Detail string
+}
+
+// maxViolations caps the violations kept in the report; past the cap only
+// the total is counted, so a hostile scenario cannot balloon the report.
+const maxViolations = 64
+
+// Report is the plain-data outcome of a checked run.
+type Report struct {
+	Checked    bool // a checker was installed
+	Sent       int64
+	Delivered  int64
+	Discarded  int64
+	Duplicates int64 // duplicate deliveries the checker was told about
+	GVTCommits int64
+	// Violations holds the first maxViolations breaches, in the order the
+	// single-threaded engine observed them; ViolationsTotal counts all.
+	Violations      []Violation
+	ViolationsTotal int64
+}
+
+// Failed reports whether any invariant was breached.
+func (r *Report) Failed() bool { return r != nil && r.ViolationsTotal > 0 }
+
+// Checker is the runtime oracle for one cluster. It is not safe for
+// concurrent use; all hooks fire inside the cluster's event engine.
+type Checker struct {
+	transit map[TransitKey]int
+	lastGVT []vtime.VTime // per node, last committed estimate
+	rep     Report
+}
+
+// NewChecker returns a checker for a cluster of nodes.
+func NewChecker(nodes int) *Checker {
+	c := &Checker{
+		transit: make(map[TransitKey]int),
+		lastGVT: make([]vtime.VTime, nodes),
+	}
+	for i := range c.lastGVT {
+		c.lastGVT[i] = minVTime
+	}
+	c.rep.Checked = true
+	return c
+}
+
+func key(pkt *proto.Packet) TransitKey {
+	return TransitKey{
+		SrcNode: pkt.SrcNode, DstNode: pkt.DstNode,
+		SrcObj: pkt.SrcObj, DstObj: pkt.DstObj,
+		SendTS: pkt.SendTS, RecvTS: pkt.RecvTS,
+		EventID: pkt.EventID, Anti: pkt.IsAnti(),
+	}
+}
+
+func (c *Checker) violate(rule string, node int, format string, args ...interface{}) {
+	c.rep.ViolationsTotal++
+	if len(c.rep.Violations) < maxViolations {
+		c.rep.Violations = append(c.rep.Violations, Violation{
+			Rule: rule, Node: node, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// OnSent records an event-like message leaving a host toward the NIC.
+func (c *Checker) OnSent(pkt *proto.Packet) {
+	if !pkt.IsEventLike() {
+		return
+	}
+	c.rep.Sent++
+	c.transit[key(pkt)]++
+}
+
+// OnDelivered records an event-like message accepted by the destination
+// host. The caller must have already discarded BIP duplicates.
+func (c *Checker) OnDelivered(node int, pkt *proto.Packet) {
+	if !pkt.IsEventLike() {
+		return
+	}
+	c.rep.Delivered++
+	k := key(pkt)
+	if c.transit[k] <= 0 {
+		c.violate("transit-unknown", node, "delivered message never sent (or delivered twice): %v", pkt)
+		return
+	}
+	c.retire(k)
+}
+
+// OnDuplicate records a BIP-identified duplicate delivery (discarded by
+// the host, so no transit record is retired).
+func (c *Checker) OnDuplicate(node int, pkt *proto.Packet) {
+	if !pkt.IsEventLike() {
+		return
+	}
+	c.rep.Duplicates++
+}
+
+// OnNICDiscard records a deliberate transmit-side NIC discard (early
+// cancellation or anti suppression) of a host-submitted message.
+func (c *Checker) OnNICDiscard(node int, pkt *proto.Packet) {
+	if !pkt.IsEventLike() {
+		return
+	}
+	c.rep.Discarded++
+	k := key(pkt)
+	if c.transit[k] <= 0 {
+		c.violate("transit-unknown", node, "NIC discarded message never sent: %v", pkt)
+		return
+	}
+	c.retire(k)
+}
+
+func (c *Checker) retire(k TransitKey) {
+	if c.transit[k] == 1 {
+		delete(c.transit, k)
+	} else {
+		c.transit[k]--
+	}
+}
+
+// MinTransitTS returns the minimum receive timestamp over all in-transit
+// messages, or Infinity when none are in flight.
+func (c *Checker) MinTransitTS() vtime.VTime {
+	min := vtime.Infinity
+	//nicwarp:ordered commutative min fold
+	for k := range c.transit {
+		if k.RecvTS < min {
+			min = k.RecvTS
+		}
+	}
+	return min
+}
+
+// OnCommitGVT checks one node's committed GVT estimate g against the true
+// bound: floor is the caller's minimum over local LVTs and host-buffered
+// messages, and the checker folds in its own in-transit minimum. A
+// terminal commit of Infinity is only checked for monotonicity.
+func (c *Checker) OnCommitGVT(node int, g, floor vtime.VTime) {
+	c.rep.GVTCommits++
+	if g < c.lastGVT[node] {
+		c.violate("gvt-monotonic", node, "GVT regressed: %v after %v", g, c.lastGVT[node])
+	}
+	c.lastGVT[node] = g
+	if g.IsInf() {
+		return
+	}
+	limit := floor
+	if m := c.MinTransitTS(); m < limit {
+		limit = m
+	}
+	if g > limit {
+		c.violate("gvt-safety", node, "GVT %v exceeds true bound %v", g, limit)
+	}
+}
+
+// CheckCreditPair verifies credit conservation for one (sender, receiver)
+// pair at quiescence: remaining credit at the sender plus credit owed at
+// the receiver must equal the flow-control window.
+func (c *Checker) CheckCreditPair(sender, receiver int, credits, owed, window int) {
+	if credits+owed != window {
+		c.violate("credit-conservation", sender,
+			"credits toward node %d do not conserve: %d available + %d owed != window %d",
+			receiver, credits, owed, window)
+	}
+}
+
+// CheckBIPPair verifies gap accounting for one (sender, receiver) pair at
+// quiescence: the receiver's still-open sequence holes plus the
+// undelivered tail of the sender's stamp space must exactly equal the
+// sender NIC's deliberate drop count toward that receiver.
+func (c *Checker) CheckBIPPair(sender, receiver int, openHoles int, stamped, highest uint64, nicDrops int64) {
+	if highest > stamped {
+		c.violate("bip-gap-accounting", receiver,
+			"accepted seq %d from node %d above last stamped %d", highest, sender, stamped)
+		return
+	}
+	tail := int64(stamped - highest)
+	if int64(openHoles)+tail != nicDrops {
+		c.violate("bip-gap-accounting", receiver,
+			"holes from node %d do not match NIC drops: %d open + %d tail != %d dropped",
+			sender, openHoles, tail, nicDrops)
+	}
+}
+
+// CheckDrained verifies the NIC-to-host refund ledgers were fully drained
+// at quiescence (undrained entries are credits lost in the shared
+// window).
+func (c *Checker) CheckDrained(node int, refundLeft, salvageLeft int64) {
+	if refundLeft != 0 || salvageLeft != 0 {
+		c.violate("credit-undrained", node,
+			"shared-window ledgers not drained: %d refund, %d salvage", refundLeft, salvageLeft)
+	}
+}
+
+// CheckZombies verifies anti-message annihilation at quiescence: no
+// unmatched anti-messages may survive unless drop-buffer evictions
+// legitimately orphaned some.
+func (c *Checker) CheckZombies(node, zombies int, evictions int64) {
+	if zombies > 0 && evictions == 0 {
+		c.violate("anti-annihilation", node,
+			"%d unmatched anti-messages at quiescence with no drop-buffer evictions", zombies)
+	}
+}
+
+// CheckTransitEmpty verifies message conservation at quiescence: every
+// sent message was delivered or deliberately discarded.
+func (c *Checker) CheckTransitEmpty() {
+	if n := len(c.transit); n > 0 {
+		c.violate("transit-leak", -1,
+			"%d messages neither delivered nor discarded (min RecvTS %v)", n, c.MinTransitTS())
+	}
+}
+
+// Report returns the accumulated report. Call after the quiescence
+// checks; the returned pointer aliases the checker's state.
+func (c *Checker) Report() *Report { return &c.rep }

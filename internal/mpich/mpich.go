@@ -14,6 +14,7 @@ package mpich
 
 import (
 	"fmt"
+	"sort"
 
 	"nicwarp/internal/proto"
 	"nicwarp/internal/stats"
@@ -254,3 +255,25 @@ func (e *Endpoint) CreditsAvailable(dst int32) int { return e.creditsFor(dst) }
 
 // OwedTo returns credit owed to src (for tests).
 func (e *Endpoint) OwedTo(src int32) int { return e.owed[src] }
+
+// TouchedPeers returns, sorted, every peer this endpoint has flow-control
+// state with (credit spent toward, or credit owed to). The invariant
+// checker walks it to verify per-pair credit conservation at quiescence.
+func (e *Endpoint) TouchedPeers() []int32 {
+	seen := make(map[int32]bool, len(e.credits)+len(e.owed))
+	//nicwarp:ordered keys are sorted before use
+	for p := range e.credits {
+		seen[p] = true
+	}
+	//nicwarp:ordered keys are sorted before use
+	for p := range e.owed {
+		seen[p] = true
+	}
+	peers := make([]int32, 0, len(seen))
+	//nicwarp:ordered keys are sorted before use
+	for p := range seen {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	return peers
+}

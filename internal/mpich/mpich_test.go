@@ -282,3 +282,152 @@ func TestCongested(t *testing.T) {
 		t.Fatal("full send buffer must report congestion")
 	}
 }
+
+// TestRefundTable drives the NIC-drop refund path through a table of
+// window states: the fault plane's drop scenarios refund the sender's
+// credit for packets the NIC destroyed in place (they consumed no receiver
+// buffer), and the refund must both restore the window and drain any
+// backlog the closed window stranded.
+func TestRefundTable(t *testing.T) {
+	cases := []struct {
+		name         string
+		window       int
+		sends        int // event packets submitted before the refund
+		refund       int
+		wantSentPre  int // transmitted before the refund
+		wantSentPost int // transmitted after the refund
+		wantWaiting  int // still buffered after the refund
+		wantCredits  int // remaining credit after the refund
+	}{
+		{
+			name:   "refund with open window just restores credit",
+			window: 4, sends: 2, refund: 2,
+			wantSentPre: 2, wantSentPost: 2, wantWaiting: 0, wantCredits: 4,
+		},
+		{
+			name:   "refund reopens a closed window and drains the backlog",
+			window: 2, sends: 4, refund: 2,
+			wantSentPre: 2, wantSentPost: 4, wantWaiting: 0, wantCredits: 0,
+		},
+		{
+			name:   "partial refund drains part of the backlog",
+			window: 2, sends: 5, refund: 1,
+			wantSentPre: 2, wantSentPost: 3, wantWaiting: 2, wantCredits: 0,
+		},
+		{
+			name:   "refund exceeding the backlog leaves spare credit",
+			window: 1, sends: 2, refund: 3,
+			wantSentPre: 1, wantSentPost: 2, wantWaiting: 0, wantCredits: 2,
+		},
+		{
+			name:   "zero refund is a no-op",
+			window: 1, sends: 2, refund: 0,
+			wantSentPre: 1, wantSentPost: 1, wantWaiting: 1, wantCredits: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := withBuf(Config{Window: tc.window, ReturnThreshold: tc.window})
+			var out []*proto.Packet
+			e := New(0, cfg, func(p *proto.Packet) { out = append(out, p) })
+			for i := 0; i < tc.sends; i++ {
+				e.Send(ev(0, 1))
+			}
+			if len(out) != tc.wantSentPre {
+				t.Fatalf("pre-refund transmitted %d, want %d", len(out), tc.wantSentPre)
+			}
+			e.Refund(1, tc.refund)
+			if len(out) != tc.wantSentPost {
+				t.Errorf("post-refund transmitted %d, want %d", len(out), tc.wantSentPost)
+			}
+			if got := e.WaitingCount(); got != tc.wantWaiting {
+				t.Errorf("waiting = %d, want %d", got, tc.wantWaiting)
+			}
+			if got := e.CreditsAvailable(1); got != tc.wantCredits {
+				t.Errorf("credits = %d, want %d", got, tc.wantCredits)
+			}
+			if got := e.Refunded.Value(); got != int64(tc.refund) {
+				t.Errorf("Refunded = %d, want %d", got, tc.refund)
+			}
+		})
+	}
+}
+
+// TestBookOwedTable covers the receiver-side half of the stranded-credit
+// repair: owed credit re-booked for drops accumulates toward the return
+// threshold exactly like organically consumed packets, and the explicit
+// credit message fires the moment the threshold is crossed.
+func TestBookOwedTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		threshold int
+		bookings  []int
+		wantReply int32 // credit carried by the last booking's reply; 0 = nil
+		wantOwed  int   // owed balance remaining after the last booking
+	}{
+		{name: "below threshold accumulates", threshold: 4, bookings: []int{1, 2}, wantOwed: 3},
+		{name: "exact threshold fires", threshold: 3, bookings: []int{1, 2}, wantReply: 3},
+		{name: "overshoot returns the whole balance", threshold: 3, bookings: []int{2, 4}, wantReply: 6},
+		{name: "negative booking ignored", threshold: 2, bookings: []int{1, -5}, wantOwed: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := withBuf(Config{Window: 8, ReturnThreshold: tc.threshold})
+			e := New(1, cfg, func(*proto.Packet) {})
+			var last *proto.Packet
+			for _, n := range tc.bookings {
+				last = e.BookOwed(0, n)
+			}
+			if tc.wantReply == 0 {
+				if last != nil {
+					t.Fatalf("unexpected credit reply %+v", last)
+				}
+			} else {
+				if last == nil {
+					t.Fatal("expected a credit reply")
+				}
+				if last.Kind != proto.KindCredit || last.Credits != tc.wantReply {
+					t.Fatalf("reply = %+v, want %d credits", last, tc.wantReply)
+				}
+				if last.SrcNode != 1 || last.DstNode != 0 {
+					t.Fatalf("reply addressed %d->%d, want 1->0", last.SrcNode, last.DstNode)
+				}
+			}
+			if got := e.OwedTo(0); got != tc.wantOwed {
+				t.Errorf("owed = %d, want %d", got, tc.wantOwed)
+			}
+		})
+	}
+}
+
+// TestRefundConservesGlobalCredit is the pairwise conservation property the
+// invariant checker enforces at quiescence, exercised directly through the
+// refund path: after drops are refunded and all owed credit returned,
+// sender credit plus in-flight debt equals the configured window.
+func TestRefundConservesGlobalCredit(t *testing.T) {
+	cfg := withBuf(Config{Window: 4, ReturnThreshold: 2})
+	e0, e1, out0, _ := newPair(t, cfg)
+	// Four sends exhaust the window; the NIC "drops" two of them in place.
+	for i := 0; i < 4; i++ {
+		e0.Send(ev(0, 1))
+	}
+	delivered := (*out0)[:2]
+	e0.Refund(1, 2)
+	// The two survivors arrive; receiver owes 2 and crosses the threshold.
+	var reply *proto.Packet
+	for _, p := range delivered {
+		if r := e1.OnReceive(p); r != nil {
+			reply = r
+		}
+	}
+	if reply == nil {
+		t.Fatal("receiver never returned credit")
+	}
+	e0.OnReceive(reply)
+	if got := e0.CreditsAvailable(1); got != cfg.Window {
+		t.Fatalf("window not conserved: credits = %d, want %d", got, cfg.Window)
+	}
+	if e1.OwedTo(0) != 0 {
+		t.Fatalf("receiver still owes %d", e1.OwedTo(0))
+	}
+}

@@ -85,6 +85,14 @@ func (f *CancelFirmware) OnWireReceive(pkt *proto.Packet, api nic.API) nic.Verdi
 	if !pkt.IsAnti() {
 		return nic.VerdictForward
 	}
+	if pkt.WireDup {
+		// A fabric-duplicated anti. The host's BIP endpoint will classify
+		// and discard it, so it must not be numbered or open a second
+		// cancellation window: the consistency handshake counts each anti
+		// exactly once on both sides. A real BIP NIC would recognize the
+		// duplicate by its sequence number at this same point.
+		return nic.VerdictForward
+	}
 	f.antisToHost++
 	e := cancelEntry{obj: pkt.DstObj, ts: pkt.RecvTS, seq: f.antisToHost}
 	f.entries = append(f.entries, e)
@@ -187,6 +195,7 @@ func (f *CancelFirmware) accountDrop(api nic.API, p *proto.Packet) {
 	w := api.Shared()
 	w.DroppedWhite[p.ColorEpoch]++
 	w.CreditRefund[p.DstNode]++
+	w.DropsByDst[p.DstNode]++
 	f.CreditRefunds.Inc()
 	// Salvage any credit return riding on the dropped packet; the host
 	// re-books it as owed to the destination.

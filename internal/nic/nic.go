@@ -214,6 +214,15 @@ type NIC struct {
 	rxPumping bool
 	txStalled bool // head-of-line blocked on a full destination
 
+	txFaultStalled bool // transmit pump frozen by the fault plane
+	faultHeld      int  // rx slots occupied by the fault plane
+
+	// onHostDiscard observes every host-submitted packet the NIC discards
+	// on the transmit side (early cancellation, anti suppression) instead
+	// of putting it on the wire. Installed by the invariant checker so its
+	// in-transit accounting can retire deliberately dropped messages.
+	onHostDiscard func(*proto.Packet)
+
 	// In-flight pump state. txPumping/rxPumping guarantee at most one
 	// packet per pump stage, so these fields (with the SubmitArg
 	// trampolines below) replace per-packet completion closures.
@@ -303,6 +312,45 @@ func (n *NIC) releaseRx() {
 // RxHeld returns the number of occupied receive slots (for tests).
 func (n *NIC) RxHeld() int { return n.rxHeld }
 
+// SetHostDiscardHook installs the transmit-side discard observer. Call
+// before traffic flows; a nil hook disables observation.
+func (n *NIC) SetHostDiscardHook(fn func(*proto.Packet)) { n.onHostDiscard = fn }
+
+// FaultHoldRx occupies up to k receive-ring slots on behalf of the fault
+// plane, returning how many were taken. Held slots backpressure senders
+// exactly like slots pinned by a slow host.
+func (n *NIC) FaultHoldRx(k int) int {
+	held := 0
+	for i := 0; i < k && n.rxHeld < n.cfg.RxQueueCap; i++ {
+		n.rxHeld++
+		held++
+	}
+	n.faultHeld += held
+	return held
+}
+
+// FaultReleaseRx releases slots taken by FaultHoldRx, waking stalled
+// senders.
+func (n *NIC) FaultReleaseRx(k int) {
+	if k > n.faultHeld {
+		k = n.faultHeld
+	}
+	n.faultHeld -= k
+	for i := 0; i < k; i++ {
+		n.releaseRx()
+	}
+}
+
+// SetTxFaultStall freezes (true) or resumes (false) the transmit pump on
+// behalf of the fault plane, modeling a NIC processor busy with other
+// duties; the send queue accumulates backlog while frozen.
+func (n *NIC) SetTxFaultStall(v bool) {
+	n.txFaultStalled = v
+	if !v {
+		n.txPump()
+	}
+}
+
 // Shared returns the host/NIC shared memory window.
 func (n *NIC) Shared() *SharedWindow { return n.shared }
 
@@ -385,7 +433,7 @@ func (n *NIC) takeCharge() int64 {
 // backpressure — and the backlog accumulates here, in the send queue,
 // where the early-cancellation firmware can reach it.
 func (n *NIC) txPump() {
-	if n.txPumping || n.txStalled || n.sendLen() == 0 {
+	if n.txPumping || n.txStalled || n.txFaultStalled || n.sendLen() == 0 {
 		return
 	}
 	head := n.sendQ[n.sendHead]
@@ -428,8 +476,12 @@ func nicTxProcessed(x interface{}) {
 	case VerdictConsume, VerdictDrop:
 		// The reserved slot at the destination is never used.
 		pkt := n.txEntry.pkt
+		fromNIC := n.txEntry.fromNIC
 		n.txEntry = outEntry{}
 		n.unreserve(pkt)
+		if !fromNIC && n.onHostDiscard != nil {
+			n.onHostDiscard(pkt)
+		}
 		n.txDone()
 	default:
 		panic(fmt.Sprintf("nic: bad send verdict %v", n.txVerdict))
@@ -525,19 +577,19 @@ func nicRxProcessed(x interface{}) {
 		if n.deliverToHost == nil {
 			panic("nic: receive before Wire")
 		}
-		if gated(pkt.Kind) {
+		if gated(pkt.Kind) && !pkt.WireDup {
 			n.deliverToHost(pkt, n.releaseRxFn)
 		} else {
 			n.deliverToHost(pkt, noopDone)
 		}
 	case VerdictConsume:
 		n.Stats.RxConsumed.Inc()
-		if gated(pkt.Kind) {
+		if gated(pkt.Kind) && !pkt.WireDup {
 			n.releaseRx()
 		}
 	case VerdictDrop:
 		n.Stats.RxDropped.Inc()
-		if gated(pkt.Kind) {
+		if gated(pkt.Kind) && !pkt.WireDup {
 			n.releaseRx()
 		}
 	default:
@@ -597,6 +649,11 @@ func (a apiImpl) RemoveFromSendQueue(pred func(*proto.Packet) bool) []*proto.Pac
 	n.sendQ = n.sendQ[:n.sendHead+len(kept)]
 	n.rmScratch = removed
 	n.Stats.SendQDepth.Set(int64(n.sendLen()))
+	if n.onHostDiscard != nil {
+		for _, pkt := range removed {
+			n.onHostDiscard(pkt)
+		}
+	}
 	return removed
 }
 

@@ -81,6 +81,14 @@ type SharedWindow struct {
 	// dropped packet is the last traffic to its destination, which
 	// deadlocks the sender's window.)
 	CreditRefund map[int32]int64
+	// DropsByDst is the permanent per-destination count of packets this
+	// NIC deliberately discarded (cancelled positives and suppressed
+	// antis). Unlike the maps above it is never drained: it is the
+	// sender-side ground truth the invariant checker reconciles against
+	// the receiver's BIP sequence gaps — every permanent hole in a
+	// destination's sequence space must be attributable to exactly these
+	// drops.
+	DropsByDst map[int32]int64
 }
 
 // NewSharedWindow returns a window with the paper's default drop-buffer
@@ -93,6 +101,7 @@ func NewSharedWindow() *SharedWindow {
 		DroppedWhite:  make(map[uint32]int64),
 		CreditRefund:  make(map[int32]int64),
 		CreditSalvage: make(map[int32]int64),
+		DropsByDst:    make(map[int32]int64),
 	}
 }
 

@@ -83,6 +83,12 @@ type Packet struct {
 	SrcNode int32  // sending node (LP) id
 	DstNode int32  // destination node (LP) id; -1 means broadcast
 
+	// WireDup marks a fabric-injected duplicate (fault plane): model
+	// bookkeeping only, never encoded into the wire image. The sender
+	// reserved exactly one rx slot for the original packet, so a
+	// duplicate arrival must not release (or require) a slot.
+	WireDup bool
+
 	// ---- MPICH flow-control header ----
 	Kind         Kind
 	Credits      int32 // piggybacked credit returned to SrcNode's view of DstNode
@@ -185,6 +191,24 @@ func (p *Packet) String() string {
 	default:
 		return fmt.Sprintf("%s n%d->n%d", p.Kind, p.SrcNode, p.DstNode)
 	}
+}
+
+// Checksum is the modeled link-level CRC over a wire image (FNV-1a; the
+// real Myrinet link computes a hardware CRC with the same role). The
+// fault plane uses it to decide whether injected wire corruption is
+// *detected* — a detected corruption becomes a link-level retransmission,
+// an undetected one would pass through silently.
+func Checksum(buf []byte) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, b := range buf {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	return h
 }
 
 // Marshal encodes the packet into its fixed wire representation.

@@ -60,15 +60,26 @@ func (c *MemCache) Len() int {
 // file that fails to decode — typically written by a build whose Result
 // struct has since changed shape — is treated as a miss and overwritten.
 //
-// The key fingerprints the configuration, not the simulator: after a code
-// change that alters what any config computes, the directory holds stale
-// results and must be cleared (`rm -rf results/cache`). The gob layer
-// catches struct-shape drift only by accident; behavioral drift it cannot
-// see.
+// The key fingerprints the configuration, not the simulator, so on-disk
+// file names carry cacheSchema as a prefix: bumping it retires every entry
+// written by older builds at once. The gob layer catches struct-shape
+// drift only by accident; behavioral drift it cannot see, which is exactly
+// what the schema bump is for.
 type DiskCache struct {
 	dir string
 	mem *MemCache
 }
+
+// cacheSchema versions the on-disk entry format AND the simulator
+// semantics behind it. Bump it whenever core.Result changes shape or a
+// code change alters what any given Config computes (new counters, fault
+// plane in the digest, different event ordering, ...). Old entries are
+// simply never read again; they are harmless stale files under
+// results/cache/ that a manual `rm -rf` reclaims.
+//
+//	v1: original layout (bare <digest>.gob, pre-fault-plane results)
+//	v2: fault-injection counters + invariant report added to core.Result
+const cacheSchema = "v2"
 
 // NewDiskCache opens (creating if needed) a disk cache rooted at dir.
 func NewDiskCache(dir string) (*DiskCache, error) {
@@ -82,7 +93,7 @@ func NewDiskCache(dir string) (*DiskCache, error) {
 func (c *DiskCache) Dir() string { return c.dir }
 
 func (c *DiskCache) path(key string) string {
-	return filepath.Join(c.dir, key+".gob")
+	return filepath.Join(c.dir, cacheSchema+"-"+key+".gob")
 }
 
 // Get implements Cache.

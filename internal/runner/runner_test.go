@@ -2,6 +2,7 @@ package runner
 
 import (
 	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -139,6 +140,46 @@ func TestDiskCachePersists(t *testing.T) {
 	}
 	if again[0].Cached {
 		t.Fatal("corrupted entry served as a hit")
+	}
+}
+
+// TestDiskCacheSchemaVersioned asserts on-disk entries carry the schema
+// prefix, so bumping cacheSchema orphans every older entry instead of
+// serving results computed by a build with different semantics.
+func TestDiskCacheSchemaVersioned(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := (&Runner{Workers: 1, Cache: c}).Run(testJobs(1))
+	if err := FirstErr(res); err != nil {
+		t.Fatal(err)
+	}
+	key := res[0].Key
+	want := filepath.Join(dir, cacheSchema+"-"+key+".gob")
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("entry not written under schema-prefixed name %s: %v", want, err)
+	}
+
+	// An entry written under a different (older) schema must be invisible.
+	stale := filepath.Join(dir, "v0-"+key+".gob")
+	data, err := os.ReadFile(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stale, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(want); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("entry under a foreign schema prefix was served as a hit")
 	}
 }
 

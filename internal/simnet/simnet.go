@@ -9,8 +9,11 @@
 //     early-cancellation correctness argument both rely on;
 //   - a fixed switch traversal latency.
 //
-// The fabric is reliable: it never drops or reorders packets. All loss in
-// the system is *deliberate* (early cancellation at the NIC).
+// The fabric is reliable by default: it never drops or reorders packets,
+// so all loss in the system is *deliberate* (early cancellation at the
+// NIC). A Tap (see SetTap) can override that on a per-packet basis — the
+// fault-injection plane in internal/fault uses it to model lossy, skewed
+// or degraded links while keeping every decision deterministic.
 package simnet
 
 import (
@@ -50,6 +53,7 @@ type Fabric struct {
 	eng   *des.Engine
 	cfg   Config
 	ports []port
+	tap   Tap
 
 	freeTransit *transit // free list of in-flight packet records
 
@@ -59,11 +63,42 @@ type Fabric struct {
 	Broadcasts stats.Counter // broadcast injections
 }
 
+// Tap observes every packet as it enters the switch and can alter its
+// fate. Exactly one tap can be installed per fabric; a nil tap (the
+// default) leaves the fabric perfectly reliable.
+type Tap interface {
+	// OnRoute is called once per unicast routing decision (broadcasts are
+	// expanded first, so each replica is seen individually). The returned
+	// decision is applied by the fabric.
+	OnRoute(srcPort, dstPort int, pkt *proto.Packet) TapDecision
+}
+
+// TapDecision is what a Tap wants done with one packet.
+type TapDecision struct {
+	// Drop removes the packet from this routing attempt. If Redeliver is
+	// positive the same packet is re-offered to the fabric after that
+	// delay (a link-level retransmission: the tap rolls again); if zero
+	// the packet is lost permanently.
+	Drop      bool
+	Redeliver vtime.ModelTime
+	// ExtraDelay is added to the switch traversal before output-port
+	// contention, so a delayed packet can genuinely be overtaken.
+	ExtraDelay vtime.ModelTime
+	// Dup injects a clone of the packet after DupDelay. The clone is
+	// routed independently (and is itself subject to the tap).
+	Dup      bool
+	DupDelay vtime.ModelTime
+}
+
+// SetTap installs t as the fabric's tap. Call before traffic flows.
+func (f *Fabric) SetTap(t Tap) { f.tap = t }
+
 // transit is one packet's journey through the switch, threaded through the
 // three stages (switch arrival, output-port serialization, final link
 // propagation) as a pooled record instead of nested closures.
 type transit struct {
 	f       *Fabric
+	srcPort int
 	dstPort int
 	pkt     *proto.Packet
 	next    *transit
@@ -84,6 +119,7 @@ func (f *Fabric) allocTransit() *transit {
 // releaseTransit clears a record and returns it to the free list.
 func (f *Fabric) releaseTransit(t *transit) {
 	t.pkt = nil
+	t.srcPort = 0
 	t.dstPort = 0
 	t.next = f.freeTransit
 	f.freeTransit = t
@@ -159,14 +195,49 @@ func (f *Fabric) Inject(srcPort int, pkt *proto.Packet) {
 	f.route(srcPort, dst, pkt)
 }
 
-// route moves a packet from the switch input at srcPort to dstPort.
+// route moves a packet from the switch input at srcPort to dstPort,
+// consulting the tap (if any) first.
 func (f *Fabric) route(srcPort, dstPort int, pkt *proto.Packet) {
+	delay := f.cfg.LinkLatency + f.cfg.SwitchLatency
+	if f.tap != nil {
+		d := f.tap.OnRoute(srcPort, dstPort, pkt)
+		if d.Dup {
+			dup := f.allocTransit()
+			dup.srcPort = srcPort
+			dup.dstPort = dstPort
+			c := pkt.Clone()
+			c.WireDup = true // holds no rx slot at the receiver
+			dup.pkt = c
+			f.eng.ScheduleArg(d.DupDelay, transitReroute, dup)
+		}
+		if d.Drop {
+			if d.Redeliver > 0 {
+				t := f.allocTransit()
+				t.srcPort = srcPort
+				t.dstPort = dstPort
+				t.pkt = pkt
+				f.eng.ScheduleArg(d.Redeliver, transitReroute, t)
+			}
+			return
+		}
+		delay += d.ExtraDelay
+	}
 	t := f.allocTransit()
+	t.srcPort = srcPort
 	t.dstPort = dstPort
 	t.pkt = pkt
 	// Propagation from NIC to switch plus switch routing latency, then the
 	// packet competes for the destination output port.
-	f.eng.ScheduleArg(f.cfg.LinkLatency+f.cfg.SwitchLatency, transitAtSwitch, t)
+	f.eng.ScheduleArg(delay, transitAtSwitch, t)
+}
+
+// transitReroute re-offers a delayed copy or a retransmitted packet to the
+// fabric; the tap rolls again on each attempt.
+func transitReroute(x interface{}) {
+	t := x.(*transit)
+	f, src, dst, pkt := t.f, t.srcPort, t.dstPort, t.pkt
+	f.releaseTransit(t)
+	f.route(src, dst, pkt)
 }
 
 // transitAtSwitch: the packet reached the switch; contend for the output

@@ -360,6 +360,19 @@ func (k *Kernel) Quiescent() bool {
 	return true
 }
 
+// ZombieCount returns the number of unmatched anti-messages currently
+// parked across the LP's objects. At quiescence every anti must have
+// annihilated its positive (or been discarded below GVT after a
+// drop-buffer eviction), so the invariant checker requires this to be
+// zero unless evictions occurred.
+func (k *Kernel) ZombieCount() int {
+	total := 0
+	for _, o := range k.order {
+		total += len(o.zombies)
+	}
+	return total
+}
+
 // ProcessOne executes the lowest-timestamp unprocessed event on the LP
 // (WARPED's lowest-timestamp-first scheduling). Panics if the LP is idle;
 // callers gate on HasWork.

@@ -28,6 +28,16 @@
 // outputs, and -benchstat FILE renders the stored comparison as a
 // benchstat-style table. -cpuprofile/-memprofile capture pprof profiles of
 // whichever mode runs.
+//
+// Standalone -benchcmp BEFORE,AFTER is the benchmark regression gate: it
+// prints the comparison table and exits non-zero if any benchmark's time/op
+// or allocs/op regressed past -gate-time-pct / -gate-allocs-pct.
+//
+// With -benchqueue FILE the scheduler-queue microbenchmarks
+// (internal/queuebench) run programmatically and their samples are written
+// to FILE (results/BENCH_queue.json in CI). -benchbase BASELINE additionally
+// compares the fresh samples against a committed baseline file and applies
+// the same hard gate; -queue-max-depth caps the depths CI pays for.
 package main
 
 import (
@@ -39,11 +49,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"testing"
 	"time"
 
 	"nicwarp"
 	"nicwarp/internal/core"
 	"nicwarp/internal/perfbench"
+	"nicwarp/internal/queuebench"
 	"nicwarp/internal/runner"
 	"nicwarp/internal/stats"
 	"nicwarp/internal/stress"
@@ -68,8 +80,13 @@ func main() {
 		cache      = flag.Bool("cache", false, "persist results under <out>/cache keyed on config digest")
 		bench      = flag.String("bench", "", "run the suite serially and in parallel, write the wall-clock comparison to this JSON file")
 		benchpoint = flag.String("benchpoint", "", "measure each selected point (time/allocs/GC) serially and write per-point telemetry to this JSON file")
-		benchcmp   = flag.String("benchcmp", "", "BEFORE,AFTER: two saved `go test -bench -benchmem` outputs to compare (stored with -benchpoint, printed otherwise)")
+		benchcmp   = flag.String("benchcmp", "", "BEFORE,AFTER: two saved `go test -bench -benchmem` outputs to compare (stored with -benchpoint; otherwise printed and gated)")
 		benchstat  = flag.String("benchstat", "", "print the benchmark comparison stored in this -benchpoint JSON file and exit")
+		benchqueue = flag.String("benchqueue", "", "run the scheduler-queue microbenchmarks and write their samples to this JSON file")
+		benchbase  = flag.String("benchbase", "", "committed BENCH_queue.json baseline to gate -benchqueue samples against")
+		queueDepth = flag.Int("queue-max-depth", 0, "cap -benchqueue steady-state depths (0 = all)")
+		gateTime   = flag.Float64("gate-time-pct", 35, "gate: max tolerated time/op regression in percent (negative disables)")
+		gateAllocs = flag.Float64("gate-allocs-pct", 5, "gate: max tolerated allocs/op regression in percent (negative disables)")
 		cpuprof    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		list       = flag.Bool("list", false, "list registered experiments and exit")
@@ -109,6 +126,16 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(perfbench.FormatComparisons(cmps))
+		if err := applyGate(cmps, *gateTime, *gateAllocs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *benchqueue != "" {
+		if err := runBenchQueue(*benchqueue, *benchbase, *queueDepth, *gateTime, *gateAllocs); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -438,6 +465,68 @@ func runBenchPoint(path, benchcmp string, opts nicwarp.FigureOpts, jobs []runner
 	}
 	fmt.Println("benchpoint: wrote", path)
 	return nil
+}
+
+// applyGate fails on any comparison whose time/op or allocs/op regressed
+// past the gate thresholds: the teeth behind -benchcmp and -benchbase,
+// turning what used to be an eyeball-the-table warning into a CI failure.
+func applyGate(cmps []perfbench.BenchComparison, timePct, allocsPct float64) error {
+	vs := perfbench.Gate(cmps, timePct, allocsPct)
+	if len(vs) == 0 {
+		fmt.Printf("gate: ok (limits: time/op +%g%%, allocs/op +%g%%)\n", timePct, allocsPct)
+		return nil
+	}
+	fmt.Print(perfbench.FormatViolations(vs))
+	return fmt.Errorf("benchmark gate: %d metric(s) regressed past thresholds", len(vs))
+}
+
+// runBenchQueue runs the scheduler-queue microbenchmarks programmatically,
+// writes their samples, and — given a committed baseline — prints the
+// comparison table and applies the hard regression gate.
+func runBenchQueue(path, basePath string, maxDepth int, timePct, allocsPct float64) error {
+	cases := queuebench.CasesUpTo(maxDepth)
+	samples := make(map[string]perfbench.BenchSample, len(cases))
+	for i, c := range cases {
+		step(fmt.Sprintf("benchqueue [%2d/%2d] %s", i+1, len(cases), c.Name))
+		r := testing.Benchmark(c.Bench)
+		// Key samples the way ParseGoBench keys `go test -bench Queue`
+		// output, so baselines from either source interoperate.
+		samples["Queue/"+c.Name] = perfbench.BenchSample{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+		}
+		fmt.Printf("  %d iterations, %.1f ns/op, %d allocs/op\n",
+			r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+	qf := perfbench.QueueFile{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Samples:    samples,
+	}
+	data, err := json.MarshalIndent(qf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("benchqueue: wrote", path)
+
+	if basePath == "" {
+		return nil
+	}
+	baseData, err := os.ReadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("benchqueue: baseline: %w", err)
+	}
+	var base perfbench.QueueFile
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		return fmt.Errorf("benchqueue: baseline %s: %w", basePath, err)
+	}
+	cmps := perfbench.Compare(base.Samples, samples)
+	fmt.Print(perfbench.FormatComparisons(cmps))
+	return applyGate(cmps, timePct, allocsPct)
 }
 
 // loadBenchCmp parses a "BEFORE,AFTER" pair of saved `go test -bench

@@ -7,5 +7,5 @@ import (
 )
 
 func TestMaprange(t *testing.T) {
-	analysistest.Run(t, "../testdata", Analyzer, "maprange_bad", "maprange_ok", "faultplane_bad_maprange", "faultplane_ok")
+	analysistest.Run(t, "../testdata", Analyzer, "maprange_bad", "maprange_ok", "faultplane_bad_maprange", "faultplane_ok", "d4heap_ok")
 }

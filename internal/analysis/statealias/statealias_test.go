@@ -7,5 +7,5 @@ import (
 )
 
 func TestStatealias(t *testing.T) {
-	analysistest.Run(t, "../testdata", Analyzer, "statealias_bad", "statealias_ok")
+	analysistest.Run(t, "../testdata", Analyzer, "statealias_bad", "statealias_ok", "d4heap_ok")
 }

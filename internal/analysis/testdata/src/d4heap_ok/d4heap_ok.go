@@ -1,0 +1,143 @@
+// Package d4heap_ok is the clean fixture for the scheduler-queue patterns
+// introduced by the 4-ary heap overhaul: intrusive position maintenance,
+// hole-moving sifts, a chained identity index ranged as a slice (never a
+// map), value-copied snapshots of queue-owned state, and sorted-key export
+// of per-queue counters. It must produce no walltime, maprange or
+// statealias diagnostics.
+package d4heap_ok
+
+import "sort"
+
+// item is a queue element with an intrusive heap position.
+type item struct {
+	key  int64
+	id   uint64
+	pos  int
+	next *item // identity-chain link
+}
+
+// heap is a miniature 4-ary index-min heap over items.
+type heap struct {
+	s []*item
+}
+
+const arity = 4
+
+func (h *heap) push(it *item) {
+	h.s = append(h.s, nil)
+	h.up(len(h.s)-1, it)
+}
+
+func (h *heap) pop() *item {
+	min := h.s[0]
+	n := len(h.s) - 1
+	last := h.s[n]
+	h.s[n] = nil
+	h.s = h.s[:n]
+	if n > 0 {
+		h.down(0, last)
+	}
+	min.pos = -1
+	return min
+}
+
+// up sifts it toward the root from the hole at slot i, maintaining the
+// intrusive positions as slots shift.
+func (h *heap) up(i int, it *item) {
+	for i > 0 {
+		p := (i - 1) / arity
+		if it.key >= h.s[p].key {
+			break
+		}
+		h.s[i] = h.s[p]
+		h.s[i].pos = i
+		i = p
+	}
+	h.s[i] = it
+	it.pos = i
+}
+
+// down sifts it toward the leaves, promoting the minimum child per level.
+func (h *heap) down(i int, it *item) {
+	n := len(h.s)
+	for {
+		c := i*arity + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + arity
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h.s[j].key < h.s[m].key {
+				m = j
+			}
+		}
+		if h.s[m].key >= it.key {
+			break
+		}
+		h.s[i] = h.s[m]
+		h.s[i].pos = i
+		i = m
+	}
+	h.s[i] = it
+	it.pos = i
+}
+
+// index is a chained identity table: buckets are a slice, so iteration is
+// deterministic without annotations — the reason the kernel's pending
+// index is not a Go map.
+type index struct {
+	buckets []*item
+	n       int
+}
+
+func (ix *index) bucket(id uint64) int {
+	return int(id*0x9E3779B97F4A7C15>>32) & (len(ix.buckets) - 1)
+}
+
+func (ix *index) add(it *item) {
+	b := ix.bucket(it.id)
+	it.next = ix.buckets[b]
+	ix.buckets[b] = it
+	ix.n++
+}
+
+// walk visits every chained item in bucket-then-chain order: slice
+// iteration, deterministic by construction.
+func (ix *index) walk(visit func(*item)) {
+	for _, head := range ix.buckets {
+		for it := head; it != nil; it = it.next {
+			visit(it)
+		}
+	}
+}
+
+// queueState is the scalar telemetry a queue snapshot carries.
+type queueState struct {
+	pushes  uint64
+	pops    uint64
+	cancels uint64
+}
+
+// queue pairs the heap with its counters.
+type queue struct {
+	h  heap
+	st queueState
+}
+
+// SaveState snapshots by value: queueState is scalar-only, so the copy
+// cannot alias live queue internals.
+func (q *queue) SaveState() interface{} { return q.st }
+
+// exportCounts renders per-class counters with the sorted-key idiom.
+func exportCounts(byClass map[string]uint64) []string {
+	var keys []string
+	for k := range byClass {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

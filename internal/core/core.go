@@ -239,6 +239,11 @@ type node struct {
 	// the CPU each preserve submission order).
 	inbox     []inboundPkt
 	inboxHead int
+	// outbox holds packets DMAing toward the NIC; the bus is FIFO, so each
+	// completion pops exactly the packet pushed for it — no per-packet
+	// closure on the transmit path.
+	outbox     []*proto.Packet
+	outboxHead int
 	// scratchEv is the reused decode target for inbound event packets; the
 	// kernel copies at the Deliver boundary.
 	scratchEv timewarp.Event
@@ -280,9 +285,8 @@ func (v view) RingDoorbell() {
 		})
 	})
 }
-func (v view) Schedule(d vtime.ModelTime, fn func()) func() {
-	t := v.n.cluster.eng.Schedule(d, fn)
-	return func() { t.Cancel() }
+func (v view) Schedule(d vtime.ModelTime, fn func(interface{}), arg interface{}) des.TimerRef {
+	return v.n.cluster.eng.ScheduleArgRef(d, fn, arg)
 }
 
 // Cluster is an assembled experiment.
@@ -694,9 +698,13 @@ func (n *node) finishStep(res timewarp.StepResult, cat hostmodel.Category) {
 // its events and re-arm the main loop.
 func nodeSendBatch(x interface{}) {
 	n := x.(*node)
-	for _, ev := range n.popBatch() {
+	batch := n.popBatch()
+	for _, ev := range batch {
 		n.transmitEvent(ev)
 	}
+	// Every event was recycled by transmitEvent; hand the backing array
+	// back too so the kernel's next remote emission reuses it.
+	n.kernel.RecycleRemoteBuf(batch)
 	n.pump()
 }
 
@@ -783,9 +791,15 @@ func (n *node) transmitHostPacket(pkt *proto.Packet) {
 // sequence number and the packet DMAs across the I/O bus into the NIC.
 func (n *node) bipTransmit(pkt *proto.Packet) {
 	n.bipEnd.Stamp(pkt)
-	n.bus.DMA(pkt.EncodedSize(), func() {
-		n.nicDev.HostEnqueue(pkt)
-	})
+	n.pushOutbound(pkt)
+	n.bus.DMAArg(pkt.EncodedSize(), nodeOutboundDMADone, n)
+}
+
+// nodeOutboundDMADone: the host-to-NIC DMA finished; hand the oldest
+// outbound packet to the NIC's send machinery.
+func nodeOutboundDMADone(x interface{}) {
+	n := x.(*node)
+	n.nicDev.HostEnqueue(n.popOutbound())
 }
 
 // nicDeliver is wired into the NIC: an inbound packet DMAs across the bus,
@@ -839,6 +853,32 @@ func (n *node) popInbound() inboundPkt {
 		n.inboxHead = 0
 	}
 	return in
+}
+
+// pushOutbound appends to the outbound ring, compacting the consumed prefix
+// in place before the slice would grow.
+func (n *node) pushOutbound(pkt *proto.Packet) {
+	if len(n.outbox) == cap(n.outbox) && n.outboxHead > 0 {
+		m := copy(n.outbox, n.outbox[n.outboxHead:])
+		for i := m; i < len(n.outbox); i++ {
+			n.outbox[i] = nil
+		}
+		n.outbox = n.outbox[:m]
+		n.outboxHead = 0
+	}
+	n.outbox = append(n.outbox, pkt)
+}
+
+// popOutbound removes and returns the oldest outbound packet.
+func (n *node) popOutbound() *proto.Packet {
+	pkt := n.outbox[n.outboxHead]
+	n.outbox[n.outboxHead] = nil
+	n.outboxHead++
+	if n.outboxHead == len(n.outbox) {
+		n.outbox = n.outbox[:0]
+		n.outboxHead = 0
+	}
+	return pkt
 }
 
 // nicNotify is wired into the NIC: a doorbell crosses the bus and interrupts
@@ -993,39 +1033,50 @@ func (n *node) commitGVT(g vtime.VTime) {
 	// commit, let the manager decide whether another computation is needed
 	// (it stops at GVT = Infinity).
 	if !n.kernel.HasWork() && !g.IsInf() {
-		cl.eng.Schedule(idleGVTBackoff, func() {
-			if !n.kernel.HasWork() && !n.loopActive {
-				n.mgr.OnIdle(view{n})
-			}
-		})
+		cl.eng.ScheduleArg(idleGVTBackoff, idleGVTKick, n)
+	}
+}
+
+// idleGVTKick is the idle-backoff expiry: if the LP is still quiescent,
+// hand the decision to the GVT manager. Top-level with the node threaded
+// through so arming the backoff allocates nothing.
+func idleGVTKick(x interface{}) {
+	n := x.(*node)
+	if !n.kernel.HasWork() && !n.loopActive {
+		n.mgr.OnIdle(view{n})
 	}
 }
 
 // noteProcessed counts globally processed events (progress diagnostics).
 func (cl *Cluster) noteProcessed() {}
 
-// scheduleSample records one time-series sample and re-arms itself while
-// the cluster still has activity.
+// scheduleSample arms the next time-series sample (closure-free; the
+// cluster is the threaded receiver).
 func (cl *Cluster) scheduleSample() {
-	cl.eng.Schedule(cl.cfg.SampleEvery, func() {
-		var s Sample
-		s.T = cl.eng.Now()
-		s.GVT = cl.finalGVT
-		busy := false
-		for _, n := range cl.nodes {
-			s.Processed += n.kernel.Stats.Processed.Value()
-			s.RolledBack += n.kernel.Stats.RolledBack.Value()
-			s.MsgsBuilt += n.eventsBuilt.Value()
-			s.DroppedInPlace += n.nicDev.Stats.DroppedInPlace.Value()
-			s.HostUtil += n.cpu.Utilization()
-			if n.kernel.HasWork() || !n.cpu.Idle() {
-				busy = true
-			}
+	cl.eng.ScheduleArg(cl.cfg.SampleEvery, takeSample, cl)
+}
+
+// takeSample records one time-series sample and re-arms while the cluster
+// still has activity.
+func takeSample(x interface{}) {
+	cl := x.(*Cluster)
+	var s Sample
+	s.T = cl.eng.Now()
+	s.GVT = cl.finalGVT
+	busy := false
+	for _, n := range cl.nodes {
+		s.Processed += n.kernel.Stats.Processed.Value()
+		s.RolledBack += n.kernel.Stats.RolledBack.Value()
+		s.MsgsBuilt += n.eventsBuilt.Value()
+		s.DroppedInPlace += n.nicDev.Stats.DroppedInPlace.Value()
+		s.HostUtil += n.cpu.Utilization()
+		if n.kernel.HasWork() || !n.cpu.Idle() {
+			busy = true
 		}
-		s.HostUtil /= float64(len(cl.nodes))
-		cl.samples = append(cl.samples, s)
-		if busy || cl.eng.Pending() > 0 {
-			cl.scheduleSample()
-		}
-	})
+	}
+	s.HostUtil /= float64(len(cl.nodes))
+	cl.samples = append(cl.samples, s)
+	if busy || cl.eng.Pending() > 0 {
+		cl.scheduleSample()
+	}
 }

@@ -1,0 +1,155 @@
+// Package d4heap is a concrete, allocation-free 4-ary index-min heap for
+// the simulator's scheduler cores: the hardware-level des engine's event
+// list, each Time Warp object's pending queue, and the per-LP object
+// scheduler.
+//
+// Three properties distinguish it from container/heap, which it replaces on
+// every hot path:
+//
+//   - No boxing. Elements move through the API as their concrete (pointer)
+//     type via a generic instantiation, never through interface{}; Push and
+//     Pop allocate nothing beyond the backing slice's amortized growth.
+//   - Intrusive position index. Every move reports the element's new slot
+//     through SetHeapPos, so holders of an element can Remove or Fix it in
+//     O(log n) without searching — the operation anti-message cancellation
+//     was degenerating to an O(n) scan for.
+//   - 4-ary layout. Children of slot i are 4i+1..4i+4. The tree is half as
+//     deep as a binary heap, sift-down touches one cache line of children
+//     per level, and moves are single assignments into the current hole
+//     rather than container/heap's pairwise Swap calls.
+//
+// Ordering contract: LessThan must be a strict total order over any
+// elements that coexist in one heap (ties only between elements that are
+// observationally identical). Under that contract the pop sequence is the
+// sorted order regardless of heap arity or internal layout, which is what
+// keeps the swap from container/heap observationally invisible — the
+// property test in the timewarp package proves it against the old
+// implementation under random push/pop/remove interleavings.
+package d4heap
+
+// arity is the tree fan-out. Four keeps the sibling scan inside one cache
+// line for pointer elements while halving the depth of a binary heap.
+const arity = 4
+
+// Item is the element contract: a strict-total-order comparison and an
+// intrusive position slot. SetHeapPos is called with the element's current
+// index on every move, and with -1 when the element leaves the heap.
+type Item[E any] interface {
+	LessThan(E) bool
+	SetHeapPos(int)
+}
+
+// Heap is a 4-ary index-min heap. The zero value is an empty heap ready
+// for use.
+type Heap[E Item[E]] struct {
+	s []E
+}
+
+// Len returns the number of elements.
+func (h *Heap[E]) Len() int { return len(h.s) }
+
+// Min returns the minimum element without removing it. Panics when empty.
+func (h *Heap[E]) Min() E { return h.s[0] }
+
+// Items exposes the backing slice for read-only iteration (diagnostics,
+// invariant checks, tests). Callers must not reorder or mutate positions.
+func (h *Heap[E]) Items() []E { return h.s }
+
+// Push inserts e. O(log n), allocation-free beyond slice growth.
+func (h *Heap[E]) Push(e E) {
+	var zero E
+	h.s = append(h.s, zero)
+	h.up(len(h.s)-1, e)
+}
+
+// Pop removes and returns the minimum element. Panics when empty.
+func (h *Heap[E]) Pop() E {
+	min := h.s[0]
+	n := len(h.s) - 1
+	last := h.s[n]
+	var zero E
+	h.s[n] = zero
+	h.s = h.s[:n]
+	if n > 0 {
+		h.down(0, last)
+	}
+	min.SetHeapPos(-1)
+	return min
+}
+
+// Remove deletes and returns the element at slot i (as reported through
+// SetHeapPos). O(log n).
+func (h *Heap[E]) Remove(i int) E {
+	e := h.s[i]
+	n := len(h.s) - 1
+	last := h.s[n]
+	var zero E
+	h.s[n] = zero
+	h.s = h.s[:n]
+	if i < n {
+		h.place(i, last)
+	}
+	e.SetHeapPos(-1)
+	return e
+}
+
+// Fix restores heap order after the element at slot i changed its key in
+// place (the LP scheduler's head-changed case). O(log n).
+func (h *Heap[E]) Fix(i int) {
+	h.place(i, h.s[i])
+}
+
+// place routes e, logically occupying the hole at slot i, up or down.
+func (h *Heap[E]) place(i int, e E) {
+	if i > 0 && e.LessThan(h.s[(i-1)/arity]) {
+		h.up(i, e)
+	} else {
+		h.down(i, e)
+	}
+}
+
+// up sifts e toward the root from the hole at slot i, moving displaced
+// ancestors down into the hole instead of swapping.
+func (h *Heap[E]) up(i int, e E) {
+	for i > 0 {
+		p := (i - 1) / arity
+		if !e.LessThan(h.s[p]) {
+			break
+		}
+		h.s[i] = h.s[p]
+		h.s[i].SetHeapPos(i)
+		i = p
+	}
+	h.s[i] = e
+	e.SetHeapPos(i)
+}
+
+// down sifts e toward the leaves from the hole at slot i: at each level the
+// minimum of up to four children is promoted into the hole.
+func (h *Heap[E]) down(i int, e E) {
+	n := len(h.s)
+	for {
+		c := i*arity + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + arity
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h.s[j].LessThan(h.s[m]) {
+				m = j
+			}
+		}
+		if !h.s[m].LessThan(e) {
+			break
+		}
+		h.s[i] = h.s[m]
+		h.s[i].SetHeapPos(i)
+		i = m
+	}
+	h.s[i] = e
+	e.SetHeapPos(i)
+}

@@ -10,69 +10,39 @@
 // the test suite assert bit-identical metrics across runs.
 //
 // Sequential execution also means the engine needs no synchronization for
-// memory reuse: fired and cancelled events go on an intrusive per-engine
-// free list, so steady-state scheduling allocates nothing. Callers on hot
-// paths use ScheduleArg/AtArg, which thread a value receiver through the
-// event instead of capturing a closure.
+// memory reuse: events live in a per-engine arena slice and fired or
+// cancelled slots are recycled through an index free list, so steady-state
+// scheduling allocates nothing and handles carry 32-bit slot numbers
+// instead of pointers. Callers on hot paths use ScheduleArg/AtArg, which
+// thread a value receiver through the event instead of capturing a closure.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 
 	"nicwarp/internal/vtime"
 )
 
-// event is one scheduled callback. Fired and cancelled events are recycled
-// through the engine's free list; seq doubles as a generation counter so a
-// stale Timer handle can never cancel the event's next incarnation.
+// event is one scheduled callback, stored in the engine's arena and
+// addressed by slot index everywhere (heap, Timer handles, free list) —
+// never by pointer, which may dangle across arena growth. seq doubles as a
+// generation counter so a stale Timer handle can never cancel the slot's
+// next incarnation.
 type event struct {
 	at    vtime.ModelTime
 	seq   uint64 // FIFO tie-break among equal times; unique per incarnation
 	fn    func()
 	fnArg func(interface{}) // closure-free variant; fn and fnArg are exclusive
 	arg   interface{}
-	idx   int    // heap index, -1 when popped/cancelled
-	next  *event // free-list link, nil while scheduled
-}
-
-// eventHeap orders events by (time, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x interface{}) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
 }
 
 // Timer is a handle to a scheduled callback that can be cancelled before it
 // fires. The handle records the event's generation (its seq), so a Timer
 // kept past its event's firing is inert even after the engine recycles the
-// event for an unrelated callback.
+// slot for an unrelated callback.
 type Timer struct {
-	ev     *event
 	eng    *Engine
+	ei     uint32
 	seq    uint64
 	cancel bool
 }
@@ -82,27 +52,61 @@ type Timer struct {
 // effect. The cancelled event is recycled immediately, dropping its callback
 // so the handle cannot pin captured state.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.cancel || t.ev.seq != t.seq || t.ev.idx < 0 {
+	if t == nil || t.cancel {
+		return false
+	}
+	e := t.eng
+	if e.arena[t.ei].seq != t.seq || e.pos[t.ei] < 0 {
 		return false
 	}
 	t.cancel = true
-	heap.Remove(&t.eng.heap, t.ev.idx)
-	t.eng.recycle(t.ev)
+	e.heap.remove(e.pos, int(e.pos[t.ei]))
+	e.recycle(t.ei)
 	return true
 }
 
 // Stopped reports whether the timer was cancelled.
 func (t *Timer) Stopped() bool { return t != nil && t.cancel }
 
+// TimerRef is a by-value cancellable handle to a callback scheduled with
+// ScheduleArgRef/AtArgRef. Unlike Timer it is not heap-allocated: hot paths
+// that need cancellation keep the ref in a struct field at zero cost. The
+// zero TimerRef is inert. Safety against recycled slots comes from the same
+// generation check Timer uses: the handle records the event's seq, which
+// changes when the engine reallocates the slot.
+type TimerRef struct {
+	eng *Engine
+	ei  uint32
+	seq uint64
+}
+
+// Cancel prevents the callback from running. Cancelling a zero ref or an
+// already fired or cancelled ref is a no-op. Reports whether the
+// cancellation took effect.
+func (r TimerRef) Cancel() bool {
+	if r.eng == nil {
+		return false
+	}
+	e := r.eng
+	if e.arena[r.ei].seq != r.seq || e.pos[r.ei] < 0 {
+		return false
+	}
+	e.heap.remove(e.pos, int(e.pos[r.ei]))
+	e.recycle(r.ei)
+	return true
+}
+
 // Engine is the deterministic event-driven core. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
 	now       vtime.ModelTime
-	heap      eventHeap
+	heap      timerHeap
 	seq       uint64
 	running   bool
 	processed uint64
-	free      *event // intrusive free list of recycled events
+	arena     []event  // every event ever scheduled, addressed by slot index
+	pos       []int32  // heap index of each arena slot, -1 when popped/cancelled
+	free      []uint32 // recycled arena slots, reused LIFO
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -118,32 +122,38 @@ func (e *Engine) Now() vtime.ModelTime { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of scheduled, uncancelled callbacks.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.heap.len() }
 
-// alloc takes an event from the free list, or allocates one.
-func (e *Engine) alloc(t vtime.ModelTime) *event {
-	ev := e.free
-	if ev != nil {
-		e.free = ev.next
-		ev.next = nil
+// alloc takes an arena slot from the free list, or grows the arena, and
+// stamps it with a fresh (at, seq). The returned index stays valid across
+// arena growth; a *event into the arena would not, so pointers to slots
+// never outlive the expression that takes them.
+func (e *Engine) alloc(t vtime.ModelTime) uint32 {
+	var ei uint32
+	if n := len(e.free); n > 0 {
+		ei = e.free[n-1]
+		e.free = e.free[:n-1]
 	} else {
-		ev = &event{}
+		e.arena = append(e.arena, event{})
+		e.pos = append(e.pos, -1)
+		ei = uint32(len(e.arena) - 1)
 	}
 	e.seq++
+	ev := &e.arena[ei]
 	ev.at = t
 	ev.seq = e.seq
-	return ev
+	return ei
 }
 
-// recycle clears an event's callback state and returns it to the free list.
+// recycle clears a slot's callback state and returns it to the free list.
 // Clearing fn/fnArg/arg here is what guarantees a fired or cancelled event
 // never pins a captured closure or threaded receiver.
-func (e *Engine) recycle(ev *event) {
+func (e *Engine) recycle(ei uint32) {
+	ev := &e.arena[ei]
 	ev.fn = nil
 	ev.fnArg = nil
 	ev.arg = nil
-	ev.next = e.free
-	e.free = ev
+	e.free = append(e.free, ei)
 }
 
 // Schedule runs fn after delay d (which may be zero but not negative) and
@@ -161,9 +171,10 @@ func (e *Engine) At(t vtime.ModelTime, fn func()) *Timer {
 	if fn == nil {
 		panic("des: nil callback")
 	}
-	ev := e.at(t)
+	ei := e.at(t)
+	ev := &e.arena[ei]
 	ev.fn = fn
-	return &Timer{ev: ev, eng: e, seq: ev.seq}
+	return &Timer{eng: e, ei: ei, seq: ev.seq}
 }
 
 // ScheduleArg runs fn(arg) after delay d. Unlike Schedule it captures no
@@ -182,19 +193,40 @@ func (e *Engine) AtArg(t vtime.ModelTime, fn func(interface{}), arg interface{})
 	if fn == nil {
 		panic("des: nil callback")
 	}
-	ev := e.at(t)
+	ev := &e.arena[e.at(t)]
 	ev.fnArg = fn
 	ev.arg = arg
 }
 
-// at validates t and pushes a fresh event for it.
-func (e *Engine) at(t vtime.ModelTime) *event {
+// ScheduleArgRef is ScheduleArg with a cancellable by-value handle: it
+// allocates nothing beyond the pooled event.
+func (e *Engine) ScheduleArgRef(d vtime.ModelTime, fn func(interface{}), arg interface{}) TimerRef {
+	if d < 0 {
+		panic(fmt.Sprintf("des: ScheduleArgRef with negative delay %v", d))
+	}
+	return e.AtArgRef(e.now+d, fn, arg)
+}
+
+// AtArgRef is AtArg with a cancellable by-value handle. See ScheduleArgRef.
+func (e *Engine) AtArgRef(t vtime.ModelTime, fn func(interface{}), arg interface{}) TimerRef {
+	if fn == nil {
+		panic("des: nil callback")
+	}
+	ei := e.at(t)
+	ev := &e.arena[ei]
+	ev.fnArg = fn
+	ev.arg = arg
+	return TimerRef{eng: e, ei: ei, seq: ev.seq}
+}
+
+// at validates t and pushes a fresh event slot for it.
+func (e *Engine) at(t vtime.ModelTime) uint32 {
 	if t < e.now {
 		panic(fmt.Sprintf("des: At(%v) is before now (%v)", t, e.now))
 	}
-	ev := e.alloc(t)
-	heap.Push(&e.heap, ev)
-	return ev
+	ei := e.alloc(t)
+	e.heap.push(e.pos, t, e.arena[ei].seq, ei)
+	return ei
 }
 
 // Run executes callbacks in time order until the event list is empty or the
@@ -206,15 +238,15 @@ func (e *Engine) Run(limit vtime.ModelTime) vtime.ModelTime {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.heap) > 0 {
-		next := e.heap[0]
-		if next.at > limit {
+	for e.heap.len() > 0 {
+		at := e.heap.minAt()
+		if at > limit {
 			break
 		}
-		heap.Pop(&e.heap)
-		e.now = next.at
+		ei := e.heap.pop(e.pos)
+		e.now = at
 		e.processed++
-		e.fire(next)
+		e.fire(ei)
 	}
 	return e.now
 }
@@ -222,22 +254,25 @@ func (e *Engine) Run(limit vtime.ModelTime) vtime.ModelTime {
 // Step executes exactly one callback if any is pending and reports whether
 // one ran. Used by tests that need fine-grained control.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	if e.heap.len() == 0 {
 		return false
 	}
-	next := heap.Pop(&e.heap).(*event)
-	e.now = next.at
+	ei := e.heap.pop(e.pos)
+	e.now = e.arena[ei].at
 	e.processed++
-	e.fire(next)
+	e.fire(ei)
 	return true
 }
 
-// fire recycles the popped event and invokes its callback. Recycling first
+// fire recycles the popped slot and invokes its callback. Recycling first
 // lets the callback's own scheduling reuse the slot, and bumps the seq
-// generation so stale Timer handles see a mismatch.
-func (e *Engine) fire(ev *event) {
+// generation so stale Timer handles see a mismatch. The callback state is
+// read out before the callback runs: its own scheduling may grow the arena,
+// which would invalidate any pointer into it.
+func (e *Engine) fire(ei uint32) {
+	ev := &e.arena[ei]
 	fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
-	e.recycle(ev)
+	e.recycle(ei)
 	if fnArg != nil {
 		fnArg(arg)
 	} else {

@@ -17,10 +17,10 @@ func TestCancelDropsCallback(t *testing.T) {
 	if !tm.Cancel() {
 		t.Fatal("Cancel reported no effect on a pending timer")
 	}
-	if tm.ev.fn != nil {
+	if e.arena[tm.ei].fn != nil {
 		t.Fatal("cancelled event still holds its callback closure")
 	}
-	if tm.ev.arg != nil || tm.ev.fnArg != nil {
+	if e.arena[tm.ei].arg != nil || e.arena[tm.ei].fnArg != nil {
 		t.Fatal("cancelled event still holds arg callback state")
 	}
 	e.Run(100)
@@ -50,11 +50,11 @@ func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
 func TestCancelledEventIsReused(t *testing.T) {
 	e := NewEngine()
 	tm := e.Schedule(5, func() {})
-	ev := tm.ev
+	ei := tm.ei
 	tm.Cancel()
 	tm2 := e.Schedule(7, func() {})
-	if tm2.ev != ev {
-		t.Fatal("cancelled event was not recycled for the next schedule")
+	if tm2.ei != ei {
+		t.Fatal("cancelled event slot was not recycled for the next schedule")
 	}
 	if tm.Cancel() {
 		t.Fatal("old handle cancelled the recycled event")

@@ -11,6 +11,7 @@
 package gvt
 
 import (
+	"nicwarp/internal/des"
 	"nicwarp/internal/nic"
 	"nicwarp/internal/proto"
 	"nicwarp/internal/stats"
@@ -40,9 +41,12 @@ type Host interface {
 	// RingDoorbell pays the bus crossing and notifies the NIC that the
 	// shared window was updated (the no-outgoing-traffic fallback path).
 	RingDoorbell()
-	// Schedule runs fn after a model-time delay; used for handshake
-	// fallback timers. Returns a cancel function.
-	Schedule(d vtime.ModelTime, fn func()) (cancel func())
+	// Schedule runs fn(arg) after a model-time delay; used for handshake
+	// fallback timers. fn must be a top-level function and arg a pointer
+	// threaded through as the receiver — the pair replaces a captured
+	// closure so that arming a fallback on the GVT hot path allocates
+	// nothing. The returned by-value ref cancels the callback.
+	Schedule(d vtime.ModelTime, fn func(interface{}), arg interface{}) des.TimerRef
 }
 
 // Manager is a host-side GVT algorithm. The cluster invokes the hooks; any

@@ -3,6 +3,7 @@ package gvt
 import (
 	"testing"
 
+	"nicwarp/internal/des"
 	"nicwarp/internal/nic"
 	"nicwarp/internal/proto"
 	"nicwarp/internal/vtime"
@@ -36,8 +37,8 @@ func (h *fakeHost) SendControl(pkt *proto.Packet) {
 }
 func (h *fakeHost) Shared() *nic.SharedWindow { return nil }
 func (h *fakeHost) RingDoorbell()             { h.r.t.Fatal("mattern must not use the NIC") }
-func (h *fakeHost) Schedule(d vtime.ModelTime, fn func()) func() {
-	return func() {}
+func (h *fakeHost) Schedule(d vtime.ModelTime, fn func(interface{}), arg interface{}) des.TimerRef {
+	return des.TimerRef{}
 }
 
 func newRing(t *testing.T, n, period int) *ring {

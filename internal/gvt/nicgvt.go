@@ -1,6 +1,7 @@
 package gvt
 
 import (
+	"nicwarp/internal/des"
 	"nicwarp/internal/nic"
 	"nicwarp/internal/proto"
 	"nicwarp/internal/vtime"
@@ -29,8 +30,12 @@ type NICGVTManager struct {
 
 	ledger *Ledger
 
+	// host is the LP capability surface, captured once in Start so the
+	// fallback callback can run closure-free (see armReport).
+	host Host
+
 	pendingReport bool
-	cancelTimer   func()
+	fallback      des.TimerRef
 
 	// Root-only state.
 	inProgress bool
@@ -63,6 +68,7 @@ func (m *NICGVTManager) Name() string { return "nic-gvt" }
 // Start implements Manager: report the LP rank through the shared window,
 // as the paper's initialization does.
 func (m *NICGVTManager) Start(h Host) {
+	m.host = h
 	w := h.Shared()
 	if w == nil {
 		panic("gvt: NIC-GVT requires a programmable NIC (no shared window)")
@@ -112,20 +118,29 @@ func (m *NICGVTManager) initiate(h Host) {
 }
 
 // armReport requests that the host's (T, Tmin, V) reach the NIC: by
-// piggyback if event traffic appears, by doorbell otherwise.
+// piggyback if event traffic appears, by doorbell otherwise. The fallback
+// is armed closure-free (top-level callback, manager as the threaded
+// receiver): GVT rounds fire on every token visit, so a per-arm closure
+// and Timer would be a steady allocation stream.
 func (m *NICGVTManager) armReport(h Host) {
 	m.pendingReport = true
-	m.cancelTimer = h.Schedule(m.FallbackDelay, func() {
-		if !m.pendingReport {
-			return
-		}
-		m.pendingReport = false
-		w := h.Shared()
-		m.fillReport(h, &w.HostT, &w.HostTMin, &w.HostV)
-		w.ReceivedHostVariables = true
-		m.Stats.Doorbells.Inc()
-		h.RingDoorbell()
-	})
+	m.fallback = h.Schedule(m.FallbackDelay, fallbackDoorbell, m)
+}
+
+// fallbackDoorbell is the FallbackDelay expiry: no event traffic appeared
+// to piggyback on, so pay the doorbell bus crossing.
+func fallbackDoorbell(x interface{}) {
+	m := x.(*NICGVTManager)
+	if !m.pendingReport {
+		return
+	}
+	m.pendingReport = false
+	h := m.host
+	w := h.Shared()
+	m.fillReport(h, &w.HostT, &w.HostTMin, &w.HostV)
+	w.ReceivedHostVariables = true
+	m.Stats.Doorbells.Inc()
+	h.RingDoorbell()
 }
 
 // fillReport computes the host's handshake values: T (LVT), Tmin (min red
@@ -144,10 +159,8 @@ func (m *NICGVTManager) OnSent(h Host, pkt *proto.Packet) {
 		return
 	}
 	m.pendingReport = false
-	if m.cancelTimer != nil {
-		m.cancelTimer()
-		m.cancelTimer = nil
-	}
+	m.fallback.Cancel()
+	m.fallback = des.TimerRef{}
 	pkt.PiggyGVTValid = true
 	m.fillReport(h, &pkt.PiggyT, &pkt.PiggyTMin, &pkt.PiggyV)
 	pkt.PiggyRound = h.Shared().TokenRound

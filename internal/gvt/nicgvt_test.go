@@ -3,6 +3,7 @@ package gvt
 import (
 	"testing"
 
+	"nicwarp/internal/des"
 	"nicwarp/internal/nic"
 	"nicwarp/internal/proto"
 	"nicwarp/internal/vtime"
@@ -17,7 +18,13 @@ type nicHost struct {
 	window    *nic.SharedWindow
 	doorbells int
 	committed []vtime.VTime
-	timers    []func()
+	timers    []fakeTimer
+}
+
+// fakeTimer records one armed (fn, arg) callback pair.
+type fakeTimer struct {
+	fn  func(interface{})
+	arg interface{}
 }
 
 func newNICHost(lp, n int) *nicHost {
@@ -31,18 +38,18 @@ func (h *nicHost) CommitGVT(g vtime.VTime)     { h.committed = append(h.committe
 func (h *nicHost) SendControl(p *proto.Packet) { panic("nic-gvt must not send host control messages") }
 func (h *nicHost) Shared() *nic.SharedWindow   { return h.window }
 func (h *nicHost) RingDoorbell()               { h.doorbells++ }
-func (h *nicHost) Schedule(d vtime.ModelTime, fn func()) func() {
-	h.timers = append(h.timers, fn)
-	i := len(h.timers) - 1
-	return func() { h.timers[i] = nil }
+func (h *nicHost) Schedule(d vtime.ModelTime, fn func(interface{}), arg interface{}) des.TimerRef {
+	h.timers = append(h.timers, fakeTimer{fn: fn, arg: arg})
+	return des.TimerRef{}
 }
 
-// fireTimers runs all armed fallback timers.
+// fireTimers runs all armed fallback timers, including ones the manager has
+// logically cancelled (the zero TimerRef this fake hands out cannot unarm
+// them): firing stale timers is exactly the hostile case the manager's
+// pendingReport guard must absorb.
 func (h *nicHost) fireTimers() {
-	for _, fn := range h.timers {
-		if fn != nil {
-			fn()
-		}
+	for _, ft := range h.timers {
+		ft.fn(ft.arg)
 	}
 	h.timers = nil
 }

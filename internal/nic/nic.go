@@ -233,8 +233,9 @@ type NIC struct {
 
 	releaseRxFn func() // n.releaseRx as a once-allocated func value
 
-	rxHeld    int      // reserved rx slots: in flight + queued + at host
-	rxWaiters []func() // senders waiting for an rx slot
+	rxHeld     int    // reserved rx slots: in flight + queued + at host
+	rxWaiters  []*NIC // sender NICs stalled waiting for an rx slot here
+	rxWaitHead int    // consumed prefix of rxWaiters
 
 	pendingCycles int64 // accumulated via API.Charge during a hook
 
@@ -302,11 +303,29 @@ func (n *NIC) releaseRx() {
 		panic("nic: rx slot release underflow")
 	}
 	n.rxHeld--
-	waiters := n.rxWaiters
-	n.rxWaiters = nil
-	for _, w := range waiters {
-		w()
+	// Wake only the waiters present at release time: a woken sender's
+	// txPump may stall again and re-append past end, and those arrivals
+	// must wait for the next release. The head/tail ring reuses one
+	// buffer, so steady state allocates nothing; its capacity is bounded
+	// by the NIC count because a sender stalls on at most one peer.
+	end := len(n.rxWaiters)
+	for n.rxWaitHead < end {
+		w := n.rxWaiters[n.rxWaitHead]
+		n.rxWaiters[n.rxWaitHead] = nil
+		n.rxWaitHead++
+		w.txWake()
 	}
+	if n.rxWaitHead == len(n.rxWaiters) {
+		n.rxWaiters = n.rxWaiters[:0]
+		n.rxWaitHead = 0
+	}
+}
+
+// txWake clears a sender's stall and restarts its transmit pump; the
+// wake-side half of the rxWaiters handshake.
+func (n *NIC) txWake() {
+	n.txStalled = false
+	n.txPump()
 }
 
 // RxHeld returns the number of occupied receive slots (for tests).
@@ -443,11 +462,11 @@ func (n *NIC) txPump() {
 		}
 		dst := n.peer(int(head.pkt.DstNode))
 		if !dst.tryReserveRx() {
+			// A NIC stalls on at most one destination at a time
+			// (txStalled gates txPump), so the waiter entry is just
+			// the sender itself — no closure.
 			n.txStalled = true
-			dst.rxWaiters = append(dst.rxWaiters, func() {
-				n.txStalled = false
-				n.txPump()
-			})
+			dst.rxWaiters = append(dst.rxWaiters, n)
 			return
 		}
 	}

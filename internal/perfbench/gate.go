@@ -1,0 +1,88 @@
+package perfbench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// QueueFile is the schema of results/BENCH_queue.json: the committed
+// scheduler-queue microbenchmark baseline the CI gate compares against.
+type QueueFile struct {
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	NumCPU     int                    `json:"numcpu"`
+	Samples    map[string]BenchSample `json:"samples"`
+}
+
+// Violation is one benchmark metric that regressed past its gate threshold.
+type Violation struct {
+	Name     string  `json:"name"`
+	Metric   string  `json:"metric"` // "time/op" or "allocs/op"
+	Before   float64 `json:"before"`
+	After    float64 `json:"after"`
+	DeltaPct float64 `json:"delta_pct"`
+	LimitPct float64 `json:"limit_pct"`
+}
+
+// String renders a violation for gate failure output.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s %s regressed %+.1f%% (limit %+.1f%%): %.6g -> %.6g",
+		v.Name, v.Metric, v.DeltaPct, v.LimitPct, v.Before, v.After)
+}
+
+// Gate checks after-samples against before-samples: any benchmark whose
+// time/op grew by more than timePct percent, or whose allocs/op grew by
+// more than allocsPct percent, is a violation. Benchmarks present on only
+// one side are skipped (new benchmarks establish a baseline; retired ones
+// stop gating). A negative threshold disables that metric's check.
+//
+// The thresholds are deliberately asymmetric in spirit: time/op on a
+// shared, single-core CI runner is noisy, so its limit leaves headroom;
+// allocs/op is deterministic for these benchmarks, so its limit is tight.
+func Gate(cmps []BenchComparison, timePct, allocsPct float64) []Violation {
+	var out []Violation
+	for _, c := range cmps {
+		if c.Before == nil || c.After == nil {
+			continue
+		}
+		if timePct >= 0 && c.Before.NsPerOp > 0 {
+			d := (c.After.NsPerOp - c.Before.NsPerOp) / c.Before.NsPerOp * 100
+			if d > timePct {
+				out = append(out, Violation{
+					Name: c.Name, Metric: "time/op",
+					Before: c.Before.NsPerOp, After: c.After.NsPerOp,
+					DeltaPct: d, LimitPct: timePct,
+				})
+			}
+		}
+		if allocsPct >= 0 {
+			// A zero-alloc baseline has no percentage to grow by; any
+			// allocation appearing there is a regression outright (the des
+			// mixes are zero-alloc by design and must stay that way). The
+			// reported delta is relative to a one-alloc baseline.
+			base := c.Before.AllocsPerOp
+			if base == 0 {
+				base = 1
+			}
+			d := (c.After.AllocsPerOp - c.Before.AllocsPerOp) / base * 100
+			if d > allocsPct {
+				out = append(out, Violation{
+					Name: c.Name, Metric: "allocs/op",
+					Before: c.Before.AllocsPerOp, After: c.After.AllocsPerOp,
+					DeltaPct: d, LimitPct: allocsPct,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// FormatViolations renders gate breaches one per line.
+func FormatViolations(vs []Violation) string {
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString("FAIL: ")
+		b.WriteString(v.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

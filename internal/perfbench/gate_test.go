@@ -1,0 +1,81 @@
+package perfbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func cmp(name string, before, after BenchSample) BenchComparison {
+	b, a := before, after
+	return BenchComparison{Name: name, Before: &b, After: &a}
+}
+
+func TestGatePassesWithinThresholds(t *testing.T) {
+	cmps := []BenchComparison{
+		cmp("steady", BenchSample{NsPerOp: 100, AllocsPerOp: 10}, BenchSample{NsPerOp: 120, AllocsPerOp: 10}),
+		cmp("cancel", BenchSample{NsPerOp: 50, AllocsPerOp: 0}, BenchSample{NsPerOp: 40, AllocsPerOp: 0}),
+	}
+	if vs := Gate(cmps, 35, 5); len(vs) != 0 {
+		t.Fatalf("expected clean gate, got %v", vs)
+	}
+}
+
+func TestGateFlagsTimeRegression(t *testing.T) {
+	cmps := []BenchComparison{
+		cmp("steady", BenchSample{NsPerOp: 100}, BenchSample{NsPerOp: 140}),
+	}
+	vs := Gate(cmps, 35, 5)
+	if len(vs) != 1 || vs[0].Metric != "time/op" || vs[0].Name != "steady" {
+		t.Fatalf("expected one time/op violation, got %v", vs)
+	}
+	if vs[0].DeltaPct < 39.9 || vs[0].DeltaPct > 40.1 {
+		t.Fatalf("delta = %v, want ~40", vs[0].DeltaPct)
+	}
+}
+
+func TestGateFlagsAllocRegression(t *testing.T) {
+	cmps := []BenchComparison{
+		cmp("mix", BenchSample{NsPerOp: 100, AllocsPerOp: 100}, BenchSample{NsPerOp: 100, AllocsPerOp: 106}),
+	}
+	vs := Gate(cmps, 35, 5)
+	if len(vs) != 1 || vs[0].Metric != "allocs/op" {
+		t.Fatalf("expected one allocs/op violation, got %v", vs)
+	}
+	if !strings.Contains(FormatViolations(vs), "allocs/op regressed +6.0%") {
+		t.Fatalf("unexpected formatting: %q", FormatViolations(vs))
+	}
+}
+
+func TestGateSkipsOneSidedAndDisabled(t *testing.T) {
+	only := BenchComparison{Name: "new", After: &BenchSample{NsPerOp: 1e9}}
+	cmps := []BenchComparison{
+		only,
+		cmp("worse", BenchSample{NsPerOp: 100, AllocsPerOp: 10}, BenchSample{NsPerOp: 500, AllocsPerOp: 50}),
+	}
+	if vs := Gate(cmps, -1, -1); len(vs) != 0 {
+		t.Fatalf("disabled gate still fired: %v", vs)
+	}
+	if vs := Gate(cmps[:1], 35, 5); len(vs) != 0 {
+		t.Fatalf("one-sided comparison gated: %v", vs)
+	}
+}
+
+// TestGateZeroAllocBaseline pins the edge the queue benchmarks rely on: the
+// des mixes are zero-alloc by design, so any allocation appearing against a
+// 0-alloc baseline must trip the gate even though no percentage growth is
+// expressible.
+func TestGateZeroAllocBaseline(t *testing.T) {
+	cmps := []BenchComparison{
+		cmp("des", BenchSample{NsPerOp: 100, AllocsPerOp: 0}, BenchSample{NsPerOp: 100, AllocsPerOp: 3}),
+	}
+	vs := Gate(cmps, 35, 5)
+	if len(vs) != 1 || vs[0].Metric != "allocs/op" {
+		t.Fatalf("allocation growth from zero must gate, got %v", vs)
+	}
+	still := []BenchComparison{
+		cmp("des", BenchSample{NsPerOp: 100, AllocsPerOp: 0}, BenchSample{NsPerOp: 100, AllocsPerOp: 0}),
+	}
+	if vs := Gate(still, 35, 5); len(vs) != 0 {
+		t.Fatalf("steady zero allocs gated: %v", vs)
+	}
+}

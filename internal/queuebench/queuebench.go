@@ -1,0 +1,182 @@
+// Package queuebench defines the scheduler-queue microbenchmarks behind the
+// repo's benchmark regression gate: push/pop/cancel mixes against the
+// engine-level timer heap (internal/des) and the Time Warp pending queue
+// (internal/timewarp), each held at a fixed steady-state depth so the
+// per-operation cost of the specialized heaps and the identity index is
+// isolated from end-to-end experiment noise.
+//
+// The cases are plain func(*testing.B) values so the same definitions back
+// both the `go test -bench Queue` wrappers (queuebench_test.go) and the
+// programmatic `cmd/experiments -benchqueue` runs that produce and check
+// results/BENCH_queue.json. Everything is seeded and allocation-steady:
+// after warm-up the des mixes allocate nothing per op and the timewarp
+// mixes touch only the kernel's pooled events, so allocs/op is a
+// deterministic gate metric even on a noisy runner.
+package queuebench
+
+import (
+	"fmt"
+	"testing"
+
+	"nicwarp/internal/des"
+	"nicwarp/internal/timewarp"
+	"nicwarp/internal/vtime"
+)
+
+// Case is one named microbenchmark.
+type Case struct {
+	Name  string
+	Depth int
+	Bench func(b *testing.B)
+}
+
+// Depths are the steady-state queue depths every mix runs at.
+var Depths = []int{1_000, 100_000, 1_000_000}
+
+// Cases returns the full microbenchmark suite in a fixed order.
+func Cases() []Case { return CasesUpTo(0) }
+
+// CasesUpTo returns the suite restricted to depths <= maxDepth; maxDepth <=
+// 0 means no restriction. CI uses the cap to keep the gate step's prefill
+// cost bounded — the gate skips baseline entries with no counterpart.
+func CasesUpTo(maxDepth int) []Case {
+	var out []Case
+	for _, depth := range Depths {
+		if maxDepth > 0 && depth > maxDepth {
+			continue
+		}
+		d := depth
+		out = append(out,
+			Case{fmt.Sprintf("DESSteady/depth=%d", d), d, func(b *testing.B) { desSteady(b, d) }},
+			Case{fmt.Sprintf("DESCancel/depth=%d", d), d, func(b *testing.B) { desCancel(b, d) }},
+			Case{fmt.Sprintf("TWSteady/depth=%d", d), d, func(b *testing.B) { twSteady(b, d) }},
+			Case{fmt.Sprintf("TWCancel/depth=%d", d), d, func(b *testing.B) { twCancel(b, d) }},
+		)
+	}
+	return out
+}
+
+// rng is the xorshift64 generator every case seeds itself with.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := *r
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = x
+	return uint64(x)
+}
+
+// qbNop is the scheduled callback for the engine mixes: the benchmarks
+// measure queue maintenance, not callback work.
+func qbNop(interface{}) {}
+
+// desSteady holds the engine heap at the given depth and measures one
+// pop (Step) plus one closure-free push per operation.
+func desSteady(b *testing.B, depth int) {
+	eng := des.NewEngine()
+	r := rng(0x9E3779B97F4A7C15 ^ uint64(depth))
+	for i := 0; i < depth; i++ {
+		eng.AtArg(vtime.ModelTime(r.next()%1024), qbNop, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+		eng.AtArg(eng.Now()+vtime.ModelTime(r.next()%1024), qbNop, nil)
+	}
+}
+
+// desCancel holds the engine heap at the given depth and measures one
+// indexed O(log n) cancellation plus one replacement push per operation —
+// the mix the paper's early-cancellation machinery leans on. Handles are
+// by-value TimerRefs, so the loop allocates nothing.
+func desCancel(b *testing.B, depth int) {
+	eng := des.NewEngine()
+	r := rng(0xD1B54A32D192ED03 ^ uint64(depth))
+	live := make([]des.TimerRef, depth)
+	for i := range live {
+		live[i] = eng.AtArgRef(vtime.ModelTime(r.next()%1024), qbNop, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := int(r.next() % uint64(depth))
+		if !live[j].Cancel() {
+			b.Fatal("queuebench: live timer refused cancellation")
+		}
+		live[j] = eng.AtArgRef(eng.Now()+vtime.ModelTime(r.next()%1024), qbNop, nil)
+	}
+}
+
+// qbObject is a minimal deterministic Time Warp object.
+type qbObject struct{ n uint64 }
+
+func (o *qbObject) Init(*timewarp.Context)                     {}
+func (o *qbObject) Execute(*timewarp.Context, *timewarp.Event) { o.n++ }
+func (o *qbObject) SaveState() interface{}                     { return o.n }
+func (o *qbObject) RestoreState(s interface{})                 { o.n = s.(uint64) }
+func (o *qbObject) Digest() uint64                             { return timewarp.DigestMix(0, o.n) }
+
+// qbKernel builds a one-object kernel preloaded with depth pending
+// positives and returns it with the next free timestamp and event ID.
+func qbKernel(depth int) (*timewarp.Kernel, vtime.VTime, uint64) {
+	k := timewarp.NewKernel(timewarp.Config{LP: 0})
+	k.AddObject(0, &qbObject{})
+	k.Bootstrap()
+	ts := vtime.VTime(1)
+	id := uint64(1 << 40) // clear of kernel-generated IDs
+	for i := 0; i < depth; i++ {
+		k.Deliver(&timewarp.Event{
+			//nicwarp:finite benchmark timestamps start at 1, grow by 1/op
+			ID: id, Src: 99, Dst: 0, SendTS: ts, RecvTS: ts + 1, Sign: 1,
+		})
+		id++
+		ts++ //nicwarp:finite benchmark timestamps start at 1, grow by 1/op
+	}
+	return k, ts, id
+}
+
+// twSteady holds the pending queue near the given depth and measures one
+// external delivery plus one ProcessOne per operation, with periodic fossil
+// collection keeping history bounded (its amortized cost is part of the
+// steady-state figure).
+func twSteady(b *testing.B, depth int) {
+	k, ts, id := qbKernel(depth)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Deliver(&timewarp.Event{
+			//nicwarp:finite benchmark timestamps start at 1, grow by 1/op
+			ID: id, Src: 99, Dst: 0, SendTS: ts, RecvTS: ts + 1, Sign: 1,
+		})
+		id++
+		ts++ //nicwarp:finite benchmark timestamps start at 1, grow by 1/op
+		k.ProcessOne()
+		if i&8191 == 8191 {
+			k.FossilCollect(k.LVT())
+		}
+	}
+}
+
+// twCancel holds the pending queue at the given depth and measures one
+// delivery plus one anti-message annihilation per operation: the indexed
+// find + O(log n) remove path that replaced the linear pending scan.
+func twCancel(b *testing.B, depth int) {
+	k, ts, id := qbKernel(depth)
+	ev := timewarp.Event{Src: 99, Dst: 0, Sign: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.ID = id
+		ev.SendTS = ts
+		ev.RecvTS = ts + 1 //nicwarp:finite benchmark timestamps start at 1, grow by 1/op
+		ev.Sign = 1
+		k.Deliver(&ev)
+		ev.Sign = -1
+		k.Deliver(&ev)
+		id++
+		ts++ //nicwarp:finite benchmark timestamps start at 1, grow by 1/op
+	}
+}

@@ -1,0 +1,36 @@
+package queuebench
+
+import (
+	"strings"
+	"testing"
+)
+
+// BenchmarkQueue exposes every case under `go test -bench Queue`; the
+// sub-benchmark names match the keys cmd/experiments -benchqueue writes to
+// results/BENCH_queue.json, so ad-hoc runs and the CI gate agree.
+func BenchmarkQueue(b *testing.B) {
+	for _, c := range Cases() {
+		b.Run(c.Name, c.Bench)
+	}
+}
+
+// TestCasesRunOneOp sanity-runs every case for a single iteration at the
+// smallest depth so plain `go test` catches API drift without paying
+// benchmark prefill costs for the deep variants.
+func TestCasesRunOneOp(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if testing.Short() || !strings.HasSuffix(c.Name, "depth=1000") {
+				t.Skip("deep variants exercised by -bench only")
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				if b.N > 1 {
+					b.Skip()
+				}
+				c.Bench(b)
+			})
+			_ = res
+		})
+	}
+}

@@ -39,6 +39,15 @@ type Event struct {
 	RecvTS  vtime.VTime
 	Sign    int8 // +1 positive, -1 anti
 	Payload uint64
+
+	// Kernel-internal queue plumbing, meaningful only while the event sits
+	// in an object's pending queue. pos is the intrusive pendHeap slot
+	// (-1 outside the heap); inext chains same-ID events in the
+	// pending identity index. Both are overwritten on insertion, so events
+	// copied or recycled with stale values are safe, and neither
+	// participates in identity (sameIdentity) or the wire encoding.
+	pos   int32
+	inext *Event
 }
 
 // MakeEventID composes the deterministic event ID from the sending object
@@ -116,21 +125,4 @@ func cmpU(a, b uint64) int {
 		return 1
 	}
 	return 0
-}
-
-// eventHeap is a min-heap of events under the total order, used for each
-// object's pending (unprocessed) input events.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].Before(h[j]) }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }

@@ -93,7 +93,7 @@ func TestEventHeapOrdering(t *testing.T) {
 		{RecvTS: 30, ID: 1}, {RecvTS: 10, ID: 2}, {RecvTS: 20, ID: 3},
 		{RecvTS: 10, ID: 1}, {RecvTS: 5, ID: 9},
 	}
-	var h eventHeap
+	var h []*Event
 	for _, e := range events {
 		h = append(h, e)
 	}

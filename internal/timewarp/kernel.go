@@ -1,9 +1,9 @@
 package timewarp
 
 import (
-	"container/heap"
 	"fmt"
 
+	"nicwarp/internal/d4heap"
 	"nicwarp/internal/stats"
 	"nicwarp/internal/vtime"
 )
@@ -98,7 +98,14 @@ type objRuntime struct {
 	id  ObjectID
 	obj Object
 
-	pending eventHeap // unprocessed input events
+	// pending is the unprocessed-input queue: a binary index-min heap under
+	// the event total order (binary, not 4-ary, to preserve structural tie
+	// order — see pendHeap). pindex is its identity index (see pendIndex).
+	// Together they turn anti-message and lazy-cancellation lookups into
+	// O(1) find + O(log n) remove; the pair is maintained exclusively
+	// through pendPush/pendPop/pendRemove so membership can never diverge.
+	pending pendHeap
+	pindex  pendIndex
 
 	// hist is the execution history as a head-indexed ring: live entries
 	// are hist[histHead:] in execution (total) order. Fossil collection
@@ -143,10 +150,38 @@ func (o *objRuntime) lastHist() *histEntry { return &o.hist[len(o.hist)-1] }
 
 // head returns the object's lowest unprocessed event, or nil.
 func (o *objRuntime) head() *Event {
-	if len(o.pending) == 0 {
+	if o.pending.Len() == 0 {
 		return nil
 	}
-	return o.pending[0]
+	return o.pending.Min()
+}
+
+// pendPush inserts an event into the pending queue and its identity index.
+// The index chain is newest-first; order within a chain is irrelevant
+// because lookups match on full identity.
+func (o *objRuntime) pendPush(ev *Event) {
+	o.pindex.add(ev)
+	o.pending.Push(ev)
+}
+
+// pendPop removes and returns the lowest pending event.
+func (o *objRuntime) pendPop() *Event {
+	ev := o.pending.Pop()
+	o.pindex.del(ev)
+	return ev
+}
+
+// pendRemove removes a specific event (found via pendFind) from the pending
+// queue in O(log n) using its intrusive heap position.
+func (o *objRuntime) pendRemove(ev *Event) {
+	o.pending.Remove(int(ev.pos))
+	o.pindex.del(ev)
+}
+
+// pendFind returns the pending positive identical to ev (which may be the
+// anti-message form: identity ignores Sign), or nil. O(1) expected.
+func (o *objRuntime) pendFind(ev *Event) *Event {
+	return o.pindex.find(ev)
 }
 
 // clock returns the object's local virtual time: the receive timestamp of
@@ -158,13 +193,12 @@ func (o *objRuntime) clock() vtime.VTime {
 	return o.lastHist().ev.RecvTS
 }
 
-// schedHeap orders objects by their head pending event; objects with no
-// pending events sort last.
-type schedHeap []*objRuntime
-
-func (h schedHeap) Len() int { return len(h) }
-func (h schedHeap) Less(i, j int) bool {
-	a, b := h[i].head(), h[j].head()
+// LessThan orders objects by their head pending event for the LP
+// scheduler; objects with no pending events sort last. Ties occur only
+// between idle objects, which the scheduler never selects, so root
+// selection is deterministic regardless of heap layout.
+func (o *objRuntime) LessThan(p *objRuntime) bool {
+	a, b := o.head(), p.head()
 	switch {
 	case a == nil:
 		return false
@@ -174,24 +208,9 @@ func (h schedHeap) Less(i, j int) bool {
 		return a.Before(b)
 	}
 }
-func (h schedHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIdx = i
-	h[j].heapIdx = j
-}
-func (h *schedHeap) Push(x interface{}) {
-	o := x.(*objRuntime)
-	o.heapIdx = len(*h)
-	*h = append(*h, o)
-}
-func (h *schedHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	o := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return o
-}
+
+// SetHeapPos records the object's scheduler-heap slot.
+func (o *objRuntime) SetHeapPos(i int) { o.heapIdx = i }
 
 // StepResult reports what a kernel operation did, in counts the cluster
 // layer converts into host CPU costs, plus the remote messages to ship.
@@ -223,7 +242,7 @@ type Kernel struct {
 	cfg   Config
 	objs  map[ObjectID]*objRuntime
 	order []*objRuntime
-	sched schedHeap
+	sched d4heap.Heap[*objRuntime]
 	pool  eventPool
 
 	// Per-call scratch, reset by each public entry point. res aliases
@@ -232,6 +251,14 @@ type Kernel struct {
 	resVal StepResult
 	res    *StepResult
 	localQ []*Event
+	// ctxScratch is the reused Execute context: Execute never nests and no
+	// object may retain its Context past the call, so one value serves
+	// every step without allocating.
+	ctxScratch Context
+	// remoteSpare holds backing arrays handed back via RecycleRemoteBuf;
+	// route drafts one for a step's first remote emission instead of
+	// growing a fresh Remote slice from nil.
+	remoteSpare [][]*Event
 
 	booted bool
 	// histCount is the total number of retained processed events across all
@@ -276,7 +303,7 @@ func (k *Kernel) AddObject(id ObjectID, obj Object) {
 	o := &objRuntime{id: id, obj: obj}
 	k.objs[id] = o
 	k.order = append(k.order, o)
-	heap.Push(&k.sched, o)
+	k.sched.Push(o)
 }
 
 // Objects returns the local object IDs in registration order.
@@ -311,8 +338,8 @@ func (k *Kernel) Bootstrap() StepResult {
 	k.booted = true
 	res := k.begin()
 	for _, o := range k.order {
-		ctx := &Context{k: k, st: o, now: 0, inInit: true}
-		o.obj.Init(ctx)
+		k.ctxScratch = Context{k: k, st: o, now: 0, inInit: true}
+		o.obj.Init(&k.ctxScratch)
 	}
 	k.drainLocal()
 	return *res
@@ -320,7 +347,7 @@ func (k *Kernel) Bootstrap() StepResult {
 
 // HasWork reports whether any object has an unprocessed event.
 func (k *Kernel) HasWork() bool {
-	return len(k.sched) > 0 && k.sched[0].head() != nil
+	return k.sched.Len() > 0 && k.sched.Min().head() != nil
 }
 
 // NextTS returns the timestamp of the lowest unprocessed event on this LP,
@@ -330,7 +357,7 @@ func (k *Kernel) NextTS() vtime.VTime {
 	if !k.HasWork() {
 		return vtime.Infinity
 	}
-	return k.sched[0].head().RecvTS
+	return k.sched.Min().head().RecvTS
 }
 
 // LVT returns the LP's lower bound on future message timestamps: the lowest
@@ -353,7 +380,7 @@ func (k *Kernel) LVT() vtime.VTime {
 // cancellations and no unmatched anti-messages.
 func (k *Kernel) Quiescent() bool {
 	for _, o := range k.order {
-		if len(o.pending) > 0 || len(o.lazyPending) > 0 || len(o.zombies) > 0 {
+		if o.pending.Len() > 0 || len(o.lazyPending) > 0 || len(o.zombies) > 0 {
 			return false
 		}
 	}
@@ -381,8 +408,8 @@ func (k *Kernel) ProcessOne() StepResult {
 		panic("timewarp: ProcessOne on idle LP")
 	}
 	res := k.begin()
-	o := k.sched[0]
-	ev := heap.Pop(&o.pending).(*Event)
+	o := k.sched.Min()
+	ev := o.pendPop()
 	k.fixSched(o)
 
 	// State saving (period 1, the WARPED default).
@@ -392,8 +419,8 @@ func (k *Kernel) ProcessOne() StepResult {
 	k.Stats.Processed.Inc()
 	res.Executed = 1
 
-	ctx := &Context{k: k, st: o, now: ev.RecvTS, current: ev}
-	o.obj.Execute(ctx, ev)
+	k.ctxScratch = Context{k: k, st: o, now: ev.RecvTS, current: ev}
+	o.obj.Execute(&k.ctxScratch, ev)
 	k.drainLocal()
 	// Lazy cancellation: entries whose send time the object's clock has
 	// passed were definitively not regenerated by re-execution; cancel
@@ -610,6 +637,12 @@ func (k *Kernel) route(ev *Event) {
 		k.localQ = append(k.localQ, ev)
 		k.res.LocalDeliveries++
 	} else {
+		if k.res.Remote == nil {
+			if n := len(k.remoteSpare); n > 0 {
+				k.res.Remote = k.remoteSpare[n-1]
+				k.remoteSpare = k.remoteSpare[:n-1]
+			}
+		}
 		k.res.Remote = append(k.res.Remote, ev)
 	}
 }
@@ -682,8 +715,32 @@ func (k *Kernel) deliverPositive(o *objRuntime, ev *Event) {
 		}
 		k.rollback(o, lo)
 	}
-	heap.Push(&o.pending, ev)
+	o.pendPush(ev)
 	k.fixSched(o)
+}
+
+// findProcessed returns the live-history index of the processed positive
+// identical to ev, or -1. Live history is sorted under the event total
+// order (stragglers truncate it before insertion), so the lookup is a
+// binary search for the Compare-equal run followed by an identity check
+// over that run — which has more than one entry only when observationally
+// identical duplicates were both executed.
+func (o *objRuntime) findProcessed(ev *Event) int {
+	lo, hi := 0, o.liveLen()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if o.live(mid).ev.Compare(ev) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i < o.liveLen() && o.live(i).ev.Compare(ev) == 0; i++ {
+		if sameIdentity(o.live(i).ev, ev) {
+			return i
+		}
+	}
+	return -1
 }
 
 // deliverAnti handles an inbound anti-message: annihilate an unprocessed
@@ -693,36 +750,33 @@ func (k *Kernel) deliverAnti(o *objRuntime, ev *Event) {
 		panic(fmt.Sprintf("timewarp: anti-message below committed GVT %v: %v", k.committedGVT, ev))
 	}
 	k.Stats.AntisReceived.Inc()
-	// Unprocessed positive: remove silently.
-	for i, p := range o.pending {
-		if p.Sign > 0 && sameIdentity(p, ev) {
-			heap.Remove(&o.pending, i)
-			k.fixSched(o)
-			k.Stats.Annihilations.Inc()
-			k.res.Annihilated = true
-			k.release(p)
-			k.release(ev)
-			return
-		}
+	// Unprocessed positive: remove silently — O(1) identity lookup plus an
+	// O(log n) indexed heap removal, the host-side cost NIC early
+	// cancellation budgets for (the former code scanned the whole pending
+	// heap per anti).
+	if p := o.pendFind(ev); p != nil {
+		o.pendRemove(p)
+		k.fixSched(o)
+		k.Stats.Annihilations.Inc()
+		k.res.Annihilated = true
+		k.release(p)
+		k.release(ev)
+		return
 	}
 	// Processed positive: roll back to just before it, which reinserts it
-	// into pending; then remove it.
-	for i := 0; i < o.liveLen(); i++ {
-		if sameIdentity(o.live(i).ev, ev) {
-			k.rollback(o, i)
-			for j, q := range o.pending {
-				if q.Sign > 0 && sameIdentity(q, ev) {
-					heap.Remove(&o.pending, j)
-					k.release(q)
-					break
-				}
-			}
-			k.fixSched(o)
-			k.Stats.Annihilations.Inc()
-			k.res.Annihilated = true
-			k.release(ev)
-			return
+	// into pending; then remove it through the same identity index (the
+	// former code rescanned the whole pending heap a second time here).
+	if i := o.findProcessed(ev); i >= 0 {
+		k.rollback(o, i)
+		if q := o.pendFind(ev); q != nil {
+			o.pendRemove(q)
+			k.release(q)
 		}
+		k.fixSched(o)
+		k.Stats.Annihilations.Inc()
+		k.res.Annihilated = true
+		k.release(ev)
+		return
 	}
 	// No positive yet: store the zombie; the zombie list takes ownership.
 	o.zombies = append(o.zombies, ev)
@@ -749,7 +803,7 @@ func (k *Kernel) rollback(o *objRuntime, p int) {
 	k.histCount -= undone
 
 	for i := n - 1; i >= p; i-- {
-		heap.Push(&o.pending, o.live(i).ev)
+		o.pendPush(o.live(i).ev)
 	}
 	// Cancel outputs of the undone executions, oldest first. Under
 	// aggressive cancellation the output copy dies here, right after its
@@ -816,5 +870,5 @@ func (k *Kernel) lazyFlush(o *objRuntime, bound vtime.VTime) {
 
 // fixSched re-heapifies the scheduler after o's head changed.
 func (k *Kernel) fixSched(o *objRuntime) {
-	heap.Fix(&k.sched, o.heapIdx)
+	k.sched.Fix(o.heapIdx)
 }

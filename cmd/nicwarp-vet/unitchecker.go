@@ -5,8 +5,15 @@ package main
 // mode. The go command invokes the tool once per compilation unit with a
 // JSON config file naming the unit's sources and the export data of its
 // dependencies; the tool type-checks the unit against that export data,
-// reports diagnostics on stderr, writes an (empty — the suite exchanges no
-// facts) .vetx output file, and signals findings through its exit status.
+// reports diagnostics on stderr, writes a .vetx output file, and signals
+// findings through its exit status.
+//
+// The suite's cross-package facts (ownership transfer, allocation purity,
+// entropy taint — see framework.FactSet) ride in the .vetx files: each
+// unit loads its dependencies' facts from cfg.PackageVetx, analyzes with
+// them in scope, and writes the merged set (dependencies plus its own
+// contribution) to cfg.VetxOutput, so facts reach transitive importers the
+// same way export data does.
 
 import (
 	"encoding/json"
@@ -18,6 +25,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 
 	"nicwarp/internal/analysis/framework"
 )
@@ -53,16 +61,22 @@ func runUnitchecker(cfgPath string, analyzers []*framework.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "nicwarp-vet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// The suite computes no cross-package facts, but the go command
-	// requires the output file to exist.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+
+	// Import dependency facts from their .vetx files (deterministic order;
+	// the maps are keyed by import path).
+	facts := framework.NewFactSet()
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		depPaths = append(depPaths, path)
+	}
+	sort.Strings(depPaths)
+	for _, path := range depPaths {
+		dep, err := framework.LoadFacts(cfg.PackageVetx[path])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nicwarp-vet: facts for %s: %v\n", path, err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		return 0
+		facts.Merge(dep)
 	}
 
 	fset := token.NewFileSet()
@@ -105,26 +119,56 @@ func runUnitchecker(cfgPath string, analyzers []*framework.Analyzer) int {
 		Path: cfg.ImportPath, Dir: cfg.Dir,
 		Fset: fset, Files: files, Types: tpkg, Info: info,
 	}
+
 	exit := 0
-	for _, a := range analyzers {
-		diags, err := framework.Run(a, pkg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
-			return 1
+	if cfg.VetxOnly {
+		// Facts-only unit: a dependency of the requested packages.
+		for _, a := range analyzers {
+			if err := framework.RunFacts(a, pkg, facts); err != nil {
+				fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+				return 1
+			}
 		}
-		for _, d := range diags {
+	} else {
+		for _, d := range framework.CheckAnnotations(pkg) {
 			p := fset.Position(d.Pos)
 			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n",
-				p.Filename, p.Line, p.Column, d.Message, a.Name)
+				p.Filename, p.Line, p.Column, d.Message, framework.AnnotationAnalyzer)
 			exit = 2
+		}
+		for _, a := range analyzers {
+			diags, err := framework.RunWith(a, pkg, facts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+				return 1
+			}
+			for _, d := range diags {
+				p := fset.Position(d.Pos)
+				fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n",
+					p.Filename, p.Line, p.Column, d.Message, a.Name)
+				exit = 2
+			}
+		}
+	}
+
+	// Export the merged facts (dependencies' plus this unit's) for
+	// importing units.
+	if cfg.VetxOutput != "" {
+		if err := facts.Save(cfg.VetxOutput); err != nil {
+			fmt.Fprintln(os.Stderr, "nicwarp-vet:", err)
+			return 1
 		}
 	}
 	return exit
 }
 
 // typecheckFailure handles a unit that does not type-check: the go command
-// asks tools to stay quiet when it already knows compilation fails.
+// asks tools to stay quiet when it already knows compilation fails. The
+// .vetx output must still exist (empty facts) for importing units.
 func typecheckFailure(cfg vetConfig, err error) int {
+	if cfg.VetxOutput != "" {
+		_ = framework.NewFactSet().Save(cfg.VetxOutput)
+	}
 	if cfg.SucceedOnTypecheckFailure {
 		return 0
 	}

@@ -8,8 +8,12 @@ package analysis
 import (
 	"nicwarp/internal/analysis/clockmix"
 	"nicwarp/internal/analysis/framework"
+	"nicwarp/internal/analysis/hotalloc"
 	"nicwarp/internal/analysis/infmath"
 	"nicwarp/internal/analysis/maprange"
+	"nicwarp/internal/analysis/poolown"
+	"nicwarp/internal/analysis/seedflow"
+	"nicwarp/internal/analysis/shardsafe"
 	"nicwarp/internal/analysis/statealias"
 	"nicwarp/internal/analysis/walltime"
 )
@@ -18,8 +22,12 @@ import (
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		clockmix.Analyzer,
+		hotalloc.Analyzer,
 		infmath.Analyzer,
 		maprange.Analyzer,
+		poolown.Analyzer,
+		seedflow.Analyzer,
+		shardsafe.Analyzer,
 		statealias.Analyzer,
 		walltime.Analyzer,
 	}

@@ -62,7 +62,19 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) 
 			t.Errorf("analysistest: loading %s: %v", path, err)
 			continue
 		}
-		diags, err := framework.Run(a, pkg)
+		// Mirror the driver: dependency packages (fixture or module-local)
+		// contribute their exported facts before the target is analyzed, so
+		// cross-package annotation fixtures exercise the facts layer.
+		facts := framework.NewFactSet()
+		for _, dep := range framework.Toposort(loader.Loaded()) {
+			if dep.Path == path {
+				continue
+			}
+			if err := framework.RunFacts(a, dep, facts); err != nil {
+				t.Errorf("analysistest: facts for %s: %v", dep.Path, err)
+			}
+		}
+		diags, err := framework.RunWith(a, pkg, facts)
 		if err != nil {
 			t.Errorf("analysistest: running %s on %s: %v", a.Name, path, err)
 			continue

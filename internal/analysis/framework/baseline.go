@@ -1,0 +1,175 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// This file implements the suppression baseline: a committed inventory of
+// pre-existing findings that are tolerated — but ratcheted — rather than
+// blocking. A new analyzer landing on a mature tree surfaces findings whose
+// fixes deserve their own reviews; without a baseline the only options are
+// "fix everything in the introducing PR" or "annotate everything", both of
+// which bury the analyzer change. With one, vet stays red for *new*
+// findings only, and the committed file can only shrink: a finding that
+// disappears makes its baseline entry stale, and stale entries fail the
+// ratchet check until the file is regenerated without them.
+//
+// Entries are keyed by (analyzer, package, file basename, message) and
+// carry a count, NOT line numbers: unrelated edits that shift lines must
+// not invalidate the baseline, while a message text precise enough to name
+// the offending construct keeps two distinct findings from sharing a key.
+
+// BaselineEntry tolerates Count findings matching the key.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	File     string `json:"file"` // base name, not path: hermetic across checkouts
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+func (e BaselineEntry) String() string {
+	return fmt.Sprintf("%s: %s/%s: %q ×%d", e.Analyzer, e.Package, e.File, e.Message, e.Count)
+}
+
+// baselineKey identifies one entry.
+type baselineKey struct {
+	analyzer, pkg, file, msg string
+}
+
+// Baseline is a loaded suppression file with per-key remaining budgets.
+type Baseline struct {
+	entries map[baselineKey]int // remaining tolerated count
+	loaded  map[baselineKey]int // as loaded, for staleness reporting
+}
+
+// baselineFile is the serialized form.
+type baselineFile struct {
+	// Comment documents the file's purpose for readers of the JSON.
+	Comment string          `json:"_comment,omitempty"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+const baselineComment = "nicwarp-vet suppression baseline: pre-existing findings " +
+	"tolerated but ratcheted (see DESIGN.md §8). Regenerate with " +
+	"`go run ./cmd/nicwarp-vet -writebaseline ./...`; the file may only shrink."
+
+// NewBaseline builds a baseline tolerating exactly the given findings.
+func NewBaseline(findings []Finding) *Baseline {
+	b := &Baseline{entries: map[baselineKey]int{}, loaded: map[baselineKey]int{}}
+	for _, f := range findings {
+		k := baselineKey{f.Analyzer, f.Package, baseName(f.Pos.Filename), f.Message}
+		b.entries[k]++
+		b.loaded[k]++
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file; a missing file yields an empty
+// baseline (everything is a new finding).
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{entries: map[baselineKey]int{}, loaded: map[baselineKey]int{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %v", path, err)
+	}
+	for _, e := range f.Entries {
+		if e.Count <= 0 {
+			return nil, fmt.Errorf("baseline %s: entry %s has non-positive count", path, e)
+		}
+		k := baselineKey{e.Analyzer, e.Package, e.File, e.Message}
+		b.entries[k] += e.Count
+		b.loaded[k] += e.Count
+	}
+	return b, nil
+}
+
+// Match consumes one unit of the key's budget and reports whether the
+// finding was baselined.
+func (b *Baseline) Match(f Finding) bool {
+	k := baselineKey{f.Analyzer, f.Package, baseName(f.Pos.Filename), f.Message}
+	if b.entries[k] > 0 {
+		b.entries[k]--
+		return true
+	}
+	return false
+}
+
+// Stale returns the entries (with their unconsumed counts) that no current
+// finding matched: the ratchet — these must be removed from the committed
+// file, and `-ratchet` fails while they remain.
+func (b *Baseline) Stale() []BaselineEntry {
+	var out []BaselineEntry
+	//nicwarp:ordered sortEntries imposes the order below
+	for k, n := range b.entries {
+		if n > 0 {
+			out = append(out, BaselineEntry{
+				Analyzer: k.analyzer, Package: k.pkg, File: k.file, Message: k.msg, Count: n,
+			})
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+// Size returns the total tolerated finding count as loaded.
+func (b *Baseline) Size() int {
+	n := 0
+	//nicwarp:ordered commutative sum
+	for _, c := range b.loaded {
+		n += c
+	}
+	return n
+}
+
+// Save writes the baseline (as loaded, not as consumed) to path.
+func (b *Baseline) Save(path string) error {
+	entries := []BaselineEntry{} // marshal as [], not null, when empty
+	for k, n := range b.loaded {
+		entries = append(entries, BaselineEntry{
+			Analyzer: k.analyzer, Package: k.pkg, File: k.file, Message: k.msg, Count: n,
+		})
+	}
+	sortEntries(entries)
+	data, err := json.MarshalIndent(baselineFile{Comment: baselineComment, Entries: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func sortEntries(entries []BaselineEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		switch {
+		case a.Analyzer != b.Analyzer:
+			return a.Analyzer < b.Analyzer
+		case a.Package != b.Package:
+			return a.Package < b.Package
+		case a.File != b.File:
+			return a.File < b.File
+		default:
+			return a.Message < b.Message
+		}
+	})
+}
+
+// baseName is filepath.Base without importing path/filepath for one call.
+func baseName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,111 @@
+package framework
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func finding(analyzer, pkg, file, msg string) Finding {
+	return Finding{
+		Analyzer: analyzer,
+		Package:  pkg,
+		Pos:      token.Position{Filename: file, Line: 10, Column: 2},
+		Message:  msg,
+	}
+}
+
+func TestBaselineMatchConsumesBudget(t *testing.T) {
+	f := finding("poolown", "nicwarp/internal/x", "/abs/path/x.go", "stored in field")
+	b := NewBaseline([]Finding{f, f}) // budget of two
+
+	if !b.Match(f) || !b.Match(f) {
+		t.Fatal("budgeted findings should match")
+	}
+	if b.Match(f) {
+		t.Error("third finding exceeded the budget but matched")
+	}
+	// Line numbers are not part of the key: a shifted finding still matches.
+	b2 := NewBaseline([]Finding{f})
+	moved := f
+	moved.Pos.Line = 999
+	if !b2.Match(moved) {
+		t.Error("line shift invalidated the baseline key")
+	}
+	// A different message is a new finding.
+	other := f
+	other.Message = "something else"
+	if b2.Match(other) {
+		t.Error("different message matched the baseline")
+	}
+}
+
+func TestBaselineStaleRatchet(t *testing.T) {
+	f1 := finding("poolown", "p", "a.go", "m1")
+	f2 := finding("hotalloc", "p", "b.go", "m2")
+	b := NewBaseline([]Finding{f1, f1, f2})
+
+	b.Match(f1) // consume one of two
+	stale := b.Stale()
+	if len(stale) != 2 {
+		t.Fatalf("Stale() = %v, want 2 entries", stale)
+	}
+	// Deterministic order, and the partially consumed key reports the
+	// remaining count.
+	if stale[0].Analyzer != "hotalloc" || stale[0].Count != 1 {
+		t.Errorf("stale[0] = %v", stale[0])
+	}
+	if stale[1].Analyzer != "poolown" || stale[1].Count != 1 {
+		t.Errorf("stale[1] = %v (want remaining count 1)", stale[1])
+	}
+
+	b.Match(f1)
+	b.Match(f2)
+	if s := b.Stale(); len(s) != 0 {
+		t.Errorf("fully consumed baseline still stale: %v", s)
+	}
+}
+
+func TestBaselineSaveLoadRoundTrip(t *testing.T) {
+	f1 := finding("seedflow", "nicwarp/cmd/x", "main.go", "entropy flows")
+	f2 := finding("seedflow", "nicwarp/cmd/x", "main.go", "entropy flows")
+	f3 := finding("shardsafe", "nicwarp/internal/y", "y.go", "package-level var")
+	b := NewBaseline([]Finding{f1, f2, f3})
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if got.Size() != 3 {
+		t.Errorf("Size() = %d, want 3", got.Size())
+	}
+	if !got.Match(f1) || !got.Match(f2) || got.Match(f1) {
+		t.Error("counted entry did not round-trip")
+	}
+	if !got.Match(f3) {
+		t.Error("second key did not round-trip")
+	}
+}
+
+func TestLoadBaselineMissingAndInvalid(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatalf("missing baseline: %v", err)
+	}
+	if b.Size() != 0 {
+		t.Error("missing baseline should be empty")
+	}
+
+	path := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(path, []byte(`{"entries":[{"analyzer":"a","package":"p","file":"f","message":"m","count":0}]}`), 0o644)
+	if _, err := LoadBaseline(path); err == nil ||
+		!strings.Contains(err.Error(), "non-positive count") {
+		t.Errorf("non-positive count accepted: %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+package framework
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes materializes the suggested fixes of the given findings
+// (suppressed or not — a baselined finding with a mechanical rewrite is
+// exactly the debt -fix exists to pay down) and returns the new contents
+// of every touched file. Edits are validated against overlap: two fixes
+// touching the same bytes abort the whole file rather than produce a
+// half-rewritten source.
+func ApplyFixes(fset *token.FileSet, findings []Finding) (map[string][]byte, error) {
+	type edit struct {
+		start, end int // byte offsets
+		text       string
+	}
+	perFile := make(map[string][]edit)
+	for _, f := range findings {
+		for _, fix := range f.Fixes {
+			for _, e := range fix.Edits {
+				start := fset.Position(e.Pos)
+				end := fset.Position(e.End)
+				if start.Filename == "" || start.Filename != end.Filename {
+					return nil, fmt.Errorf("fix %q: edit spans files", fix.Message)
+				}
+				perFile[start.Filename] = append(perFile[start.Filename],
+					edit{start: start.Offset, end: end.Offset, text: e.NewText})
+			}
+		}
+	}
+	out := make(map[string][]byte, len(perFile))
+	//nicwarp:ordered per-file rewrites are independent; the output is a map
+	for name, edits := range perFile {
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			return edits[i].end < edits[j].end
+		})
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end {
+				return nil, fmt.Errorf("%s: overlapping suggested fixes at offsets %d and %d",
+					name, edits[i-1].start, edits[i].start)
+			}
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		var buf []byte
+		last := 0
+		for _, e := range edits {
+			if e.start < last || e.end > len(src) {
+				return nil, fmt.Errorf("%s: suggested fix outside file bounds", name)
+			}
+			buf = append(buf, src[last:e.start]...)
+			buf = append(buf, e.text...)
+			last = e.end
+		}
+		buf = append(buf, src[last:]...)
+		out[name] = buf
+	}
+	return out, nil
+}
+
+// WriteFixes writes the ApplyFixes output back to disk.
+func WriteFixes(contents map[string][]byte) error {
+	names := make([]string, 0, len(contents))
+	for name := range contents {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		info, err := os.Stat(name)
+		mode := os.FileMode(0o644)
+		if err == nil {
+			mode = info.Mode()
+		}
+		if err := os.WriteFile(name, contents[name], mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FixCount returns the number of suggested fixes across findings.
+func FixCount(findings []Finding) int {
+	n := 0
+	for _, f := range findings {
+		n += len(f.Fixes)
+	}
+	return n
+}

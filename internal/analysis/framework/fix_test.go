@@ -1,0 +1,66 @@
+package framework
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixFinding wraps one edit range (given as byte offsets into src) in a
+// Finding, using a real token.File so positions resolve to the temp file.
+func fixFixture(t *testing.T, src string) (*token.FileSet, string, func(start, end int, text string) Finding) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "f.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := fset.File(f.Pos())
+	mk := func(start, end int, text string) Finding {
+		return Finding{
+			Analyzer: "test",
+			Fixes: []SuggestedFix{{Message: "rewrite", Edits: []TextEdit{{
+				Pos: tf.Pos(start), End: tf.Pos(end), NewText: text,
+			}}}},
+		}
+	}
+	return fset, path, mk
+}
+
+func TestApplyFixesEdits(t *testing.T) {
+	src := "package p\n\nvar a = 1\nvar b = 2\n"
+	fset, path, mk := fixFixture(t, src)
+	aOff := strings.Index(src, "1")
+	bOff := strings.Index(src, "2")
+	out, err := ApplyFixes(fset, []Finding{
+		mk(bOff, bOff+1, "20"), // out of order on purpose
+		mk(aOff, aOff+1, "10"),
+	})
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	want := "package p\n\nvar a = 10\nvar b = 20\n"
+	if string(out[path]) != want {
+		t.Errorf("got:\n%s\nwant:\n%s", out[path], want)
+	}
+}
+
+func TestApplyFixesRejectsOverlap(t *testing.T) {
+	src := "package p\n\nvar a = 1 + 2\n"
+	fset, _, mk := fixFixture(t, src)
+	off := strings.Index(src, "1 + 2")
+	_, err := ApplyFixes(fset, []Finding{
+		mk(off, off+5, "three"),
+		mk(off+4, off+5, "2"),
+	})
+	if err == nil || !strings.Contains(err.Error(), "overlapping") {
+		t.Errorf("overlapping edits accepted: %v", err)
+	}
+}

@@ -36,14 +36,36 @@ type Analyzer struct {
 	// Flags holds analyzer-specific flags; the driver re-registers them
 	// namespaced as -<name>.<flag>.
 	Flags flag.FlagSet
-	// Run applies the analyzer to one package.
+	// Run applies the analyzer to one package, reporting diagnostics and
+	// (for fact-bearing analyzers) recording facts about the package's
+	// symbols in Pass.Facts.
 	Run func(*Pass) error
+	// FactsRun, when non-nil, computes only the analyzer's exported facts
+	// for a package — no diagnostics. The driver applies it to dependency
+	// packages that are loaded for type information but not themselves
+	// under analysis, so cross-package facts exist before Run needs them.
+	FactsRun func(*Pass) error
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// SuggestedFix is one mechanical rewrite attached to a diagnostic, applied
+// by `nicwarp-vet -fix`.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
 }
 
 // Diagnostic is one finding, mirroring analysis.Diagnostic.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	Fixes   []SuggestedFix
 }
 
 // Pass carries one (analyzer, package) unit of work, mirroring
@@ -55,6 +77,14 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// Annots holds the package's parsed //nicwarp: annotations; Annotated
+	// is the convenience lookup analyzers use.
+	Annots *AnnotationSet
+	// Facts is the run-wide fact store: facts recorded while visiting
+	// dependency packages are visible here, and facts this pass records
+	// become visible to later packages.
+	Facts *FactSet
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -62,59 +92,48 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// Annotated reports whether the construct at pos carries a
+// Annotated reports whether the construct at pos carries a well-formed
 // `//nicwarp:<name>` annotation: a line comment on the same source line or
-// on the line immediately above.
+// on the line immediately above. Malformed annotations (unknown verb,
+// missing reason) never match — they are grammar errors reported by
+// CheckAnnotations.
 func (p *Pass) Annotated(pos token.Pos, name string) bool {
-	file := p.fileFor(pos)
-	if file == nil {
-		return false
-	}
-	line := p.Fset.Position(pos).Line
-	marker := "//nicwarp:" + name
-	for _, group := range file.Comments {
-		for _, c := range group.List {
-			cl := p.Fset.Position(c.Slash).Line
-			if cl != line && cl != line-1 {
-				continue
-			}
-			text := c.Text
-			if text == marker || strings.HasPrefix(text, marker+" ") {
-				return true
-			}
-		}
-	}
-	return false
+	return p.Annots.At(p.Fset, pos, name)
 }
 
-// fileFor returns the syntax file containing pos, or nil.
-func (p *Pass) fileFor(pos token.Pos) *ast.File {
-	for _, f := range p.Files {
-		if f.FileStart <= pos && pos <= f.FileEnd {
-			return f
-		}
-	}
-	return nil
-}
-
-// Run applies one analyzer to one loaded package and returns its
-// diagnostics sorted by position. Diagnostics inside _test.go files are
-// suppressed (the loader does not parse them, but unitchecker units may).
-func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	pass := &Pass{
+// newPass assembles a Pass over pkg sharing the run-wide fact store.
+// Diagnostics inside _test.go files are suppressed (the loader does not
+// parse them, but unitchecker units may).
+func newPass(a *Analyzer, pkg *Package, facts *FactSet, sink *[]Diagnostic) *Pass {
+	return &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Annots:    CollectAnnotations(pkg.Fset, pkg.Files),
+		Facts:     facts,
 		Report: func(d Diagnostic) {
 			if strings.HasSuffix(pkg.Fset.Position(d.Pos).Filename, "_test.go") {
 				return
 			}
-			diags = append(diags, d)
+			*sink = append(*sink, d)
 		},
 	}
+}
+
+// Run applies one analyzer to one loaded package and returns its
+// diagnostics sorted by position, using a throwaway fact store. Callers
+// that need cross-package facts use RunWith.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return RunWith(a, pkg, NewFactSet())
+}
+
+// RunWith applies one analyzer to one loaded package against a shared fact
+// store and returns its diagnostics sorted by position.
+func RunWith(a *Analyzer, pkg *Package, facts *FactSet) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := newPass(a, pkg, facts, &diags)
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
 	}
@@ -129,6 +148,20 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		return pi.Column < pj.Column
 	})
 	return diags, nil
+}
+
+// RunFacts applies the analyzer's facts-only pass (if any) to a dependency
+// package, recording facts into the shared store without diagnostics.
+func RunFacts(a *Analyzer, pkg *Package, facts *FactSet) error {
+	if a.FactsRun == nil {
+		return nil
+	}
+	var discard []Diagnostic
+	pass := newPass(a, pkg, facts, &discard)
+	if err := a.FactsRun(pass); err != nil {
+		return fmt.Errorf("%s: facts for %s: %v", a.Name, pkg.Path, err)
+	}
+	return nil
 }
 
 // IsNamed reports whether t is the named type pkgPath.name (after

@@ -165,6 +165,21 @@ func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// Loaded returns every package loaded so far (requested or pulled in as a
+// dependency), in import-path order.
+func (l *Loader) Loaded() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, len(paths))
+	for i, p := range paths {
+		out[i] = l.pkgs[p]
+	}
+	return out
+}
+
 // expandUnder walks root and returns the import paths of every directory
 // containing non-test Go files, applying the go command's conventions:
 // testdata, vendor and dot/underscore directories are skipped.

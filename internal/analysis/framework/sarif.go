@@ -1,0 +1,123 @@
+package framework
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Minimal SARIF 2.1.0 writer, covering the subset code-scanning UIs and
+// editors consume: one run, the analyzer suite as rules, findings as
+// results with physical locations, and baseline-matched findings carried
+// as suppressed results (so a SARIF viewer shows the ratchet debt instead
+// of silently hiding it). File URIs are module-root-relative, keeping the
+// artifact hermetic across checkouts and CI runners.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders the run's findings as a SARIF 2.1.0 log.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, res *VetResult) error {
+	rules := []sarifRule{{
+		ID:               AnnotationAnalyzer,
+		ShortDescription: sarifMessage{Text: "malformed //nicwarp: annotation (unknown verb or missing reason)"},
+	}}
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(res.Findings))
+	for _, f := range res.Findings {
+		uri := f.Pos.Filename
+		if rel, err := filepath.Rel(res.ModRoot, uri); err == nil {
+			uri = filepath.ToSlash(rel)
+		}
+		r := sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: uri},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		}
+		if f.Suppressed {
+			r.Suppressions = []sarifSuppression{{
+				Kind:          "external",
+				Justification: "matched by results/VET_baseline.json (ratcheted pre-existing finding)",
+			}}
+		}
+		results = append(results, r)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "nicwarp-vet", Rules: rules}},
+			Results: results,
+		}},
+	})
+}

@@ -1,0 +1,13 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"nicwarp/internal/analysis/framework/analysistest"
+	"nicwarp/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "../testdata", hotalloc.Analyzer,
+		"hotalloc_ok", "hotalloc_bad")
+}

@@ -1,0 +1,71 @@
+package infmath
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nicwarp/internal/analysis/framework"
+)
+
+// TestFixGolden runs the analyzer over the infmath_fix fixture, applies
+// every suggested fix, and compares the rewritten file to the committed
+// golden output — the contract behind `nicwarp-vet -fix`.
+func TestFixGolden(t *testing.T) {
+	testdata, err := filepath.Abs("../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modRoot, err := framework.FindModuleRoot(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := framework.NewLoader(modRoot, filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("infmath_fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.RunWith(Analyzer, pkg, framework.NewFactSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var findings []framework.Finding
+	fixes := 0
+	for _, d := range diags {
+		findings = append(findings, framework.Finding{
+			Analyzer: Analyzer.Name,
+			Package:  pkg.Path,
+			Pos:      pkg.Fset.Position(d.Pos),
+			Message:  d.Message,
+			Fixes:    d.Fixes,
+		})
+		fixes += len(d.Fixes)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3 (two adds, one sub)", len(diags))
+	}
+	if fixes != 2 {
+		t.Fatalf("got %d suggested fixes, want 2 (subtraction has no rewrite)", fixes)
+	}
+
+	out, err := framework.ApplyFixes(pkg.Fset, findings)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	src := filepath.Join(testdata, "src", "infmath_fix", "infmath_fix.go")
+	got, ok := out[src]
+	if !ok {
+		t.Fatalf("ApplyFixes touched %d files, none of them %s", len(out), src)
+	}
+	want, err := os.ReadFile(src + ".golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("rewritten file differs from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,805 @@
+// Package poolown enforces the exclusive-ownership discipline of pooled
+// objects — the invariant that makes event pooling safe in a Time Warp
+// kernel (see internal/timewarp/pool.go and DESIGN.md §3).
+//
+// The pools recycle *timewarp.Event and *proto.Packet aggressively: every
+// release site asserts "no live structure still references this object".
+// A retained pointer read after release observes a recycled object carrying
+// a *different* event's fields — and because event identity feeds
+// annihilation, the failure is not a crash but a silently corrupted
+// simulation that diverges from the sequential oracle only under rollback
+// pressure. PR 3 guards this with a property test (pooling must be
+// observationally invisible); poolown turns the discipline into a vet
+// failure at the offending line instead of a bench-time bisection.
+//
+// Three rules, all driven by the `//nicwarp:owns` / `//nicwarp:borrows` /
+// `//nicwarp:grows` annotation facts exported across packages:
+//
+//  1. Use after ownership transfer. Calling a function annotated
+//     `//nicwarp:owns` transfers ownership of its pooled-pointer arguments
+//     (release functions — pool.put, Kernel.Recycle — are the canonical
+//     case, but so are route and deliverOne, which hand the event to
+//     kernel-internal structures). Any later read of the same variable in
+//     straight-line code is flagged. Unannotated callees are assumed to
+//     borrow: they may use the argument during the call but retain
+//     nothing.
+//
+//  2. Escaping stores. A pooled pointer written into a struct field, a
+//     package-level variable, or a channel creates a second owner. Fields
+//     that legitimately own pooled objects (an object's pending heap, the
+//     history outputs rows, the free list itself) carry `//nicwarp:owns`
+//     on the field declaration; everything else is flagged. Package-level
+//     variables and channel sends are never sanctioned — the pools are
+//     per-kernel and single-threaded by design.
+//
+//  3. Arena interior pointers. A `//nicwarp:owns`-annotated arena (a slice
+//     of value structs addressed by slot index, as in internal/des) may
+//     grow; `&arena[i]` obtained before a call to a `//nicwarp:grows`
+//     function dangles into the old backing array afterwards. Slot-index
+//     staleness across recycling is guarded at runtime by the des
+//     generation counters (event.seq); the statically checkable half is
+//     that no interior pointer survives a growth call.
+//
+// The analysis is function-local and deliberately branch-conservative:
+// a transfer inside a branch kills the variable only within that branch,
+// so the analyzer under-reports rather than false-positives on merge
+// points. Cross-function transfer is exactly what the annotation facts
+// express.
+package poolown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"nicwarp/internal/analysis/framework"
+)
+
+// DefaultPooled lists the pooled types whose pointers the analyzer tracks.
+const DefaultPooled = "nicwarp/internal/timewarp.Event,nicwarp/internal/proto.Packet"
+
+// Analyzer implements the poolown check.
+var Analyzer = &framework.Analyzer{
+	Name: "poolown",
+	Doc: "enforce exclusive ownership of pooled events/packets: no reads " +
+		"after an //nicwarp:owns transfer, no stores outside //nicwarp:owns " +
+		"fields, no arena interior pointers across //nicwarp:grows calls",
+	Run:      run,
+	FactsRun: factsRun,
+}
+
+var pooledList string
+
+func init() {
+	Analyzer.Flags.StringVar(&pooledList, "types", DefaultPooled,
+		"comma-separated pkgpath.Type list of pooled object types")
+}
+
+// factsRun records the package's ownership annotations as exported facts:
+// owns/borrows/grows on function declarations, owns on struct fields (an
+// owning field whose type is a slice of value structs is an arena).
+func factsRun(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				fn, _ := pass.TypesInfo.Defs[d.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				for _, verb := range [...]string{"owns", "borrows", "grows"} {
+					if !pass.Annotated(d.Pos(), verb) {
+						continue
+					}
+					fact := pass.Facts.EnsureFunc(fn)
+					if fact == nil {
+						continue
+					}
+					switch verb {
+					case "owns":
+						fact.Owns = true
+					case "borrows":
+						fact.Borrows = true
+					case "grows":
+						fact.Grows = true
+					}
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					named, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+					if named == nil {
+						continue
+					}
+					owner, _ := named.Type().(*types.Named)
+					if owner == nil {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if !pass.Annotated(field.Pos(), "owns") {
+							continue
+						}
+						arena := isArenaType(pass.TypesInfo.TypeOf(field.Type))
+						for _, name := range field.Names {
+							if fact := pass.Facts.EnsureField(owner, name.Name); fact != nil {
+								fact.Owns = true
+								fact.Arena = arena
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isArenaType reports whether t is a growable arena: a slice of value
+// structs addressed by index rather than pointer.
+func isArenaType(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	_, isStruct := sl.Elem().Underlying().(*types.Struct)
+	return isStruct
+}
+
+type checker struct {
+	pass   *framework.Pass
+	pooled map[string]bool // "pkgpath.Name" of pooled object types
+}
+
+func run(pass *framework.Pass) error {
+	if err := factsRun(pass); err != nil {
+		return err
+	}
+	c := &checker{pass: pass, pooled: map[string]bool{}}
+	for _, entry := range strings.Split(pooledList, ",") {
+		if entry = strings.TrimSpace(entry); entry != "" {
+			c.pooled[entry] = true
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c.checkStores(fn.Body)
+			st := newState()
+			c.walkBlock(fn.Body.List, st)
+		}
+	}
+	return nil
+}
+
+// isPooledPtr reports whether t is a pointer to a configured pooled type.
+func (c *checker) isPooledPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return c.pooled[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+// containsPooled reports whether t transitively holds pooled pointers
+// (slices, arrays and maps of them — the shapes owning fields take).
+func (c *checker) containsPooled(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if c.isPooledPtr(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return c.containsPooled(u.Elem())
+	case *types.Array:
+		return c.containsPooled(u.Elem())
+	case *types.Map:
+		return c.containsPooled(u.Elem())
+	}
+	return false
+}
+
+// ---- rule 2: escaping stores ----------------------------------------------
+
+// checkStores flags pooled pointers stored where a second owner would hold
+// them: non-//nicwarp:owns struct fields, package-level variables, channels,
+// and composite-literal fields without the owning annotation.
+func (c *checker) checkStores(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					break
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else {
+					rhs = n.Rhs[0] // multi-value call; per-result types below
+				}
+				c.checkStore(n, lhs, rhs)
+			}
+		case *ast.SendStmt:
+			if c.containsPooled(c.pass.TypesInfo.TypeOf(n.Value)) &&
+				!c.pass.Annotated(n.Pos(), "owns") {
+				c.pass.Reportf(n.Pos(),
+					"pooled %s sent on a channel: the pools are per-kernel and "+
+						"single-threaded, a cross-goroutine owner breaks the exclusive-"+
+						"ownership invariant", c.typeName(n.Value))
+			}
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		}
+		return true
+	})
+}
+
+// checkStore applies the store rule to one assignment element.
+func (c *checker) checkStore(stmt *ast.AssignStmt, lhs, rhs ast.Expr) {
+	rt := c.pass.TypesInfo.TypeOf(rhs)
+	carries := c.containsPooled(rt)
+	// `x.f = append(x.f, ev)` carries pooled values even though the append
+	// result type check already catches it; the explicit case keeps the
+	// diagnostic anchored even if the slice type is opaque.
+	if !carries {
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				for _, arg := range call.Args[1:] {
+					if c.containsPooled(c.pass.TypesInfo.TypeOf(arg)) {
+						carries = true
+						break
+					}
+				}
+			}
+		}
+	}
+	if !carries || isNilIdent(rhs) {
+		return
+	}
+	root, field := c.storeTarget(lhs)
+	switch root {
+	case storeLocal:
+		return // local aliasing is what rules 1 and 3 track
+	case storePkgVar:
+		if !c.pass.Annotated(stmt.Pos(), "owns") {
+			c.pass.Reportf(stmt.Pos(),
+				"pooled %s stored in package-level %s: a global owner outlives "+
+					"every release boundary; pooled objects may only be retained by "+
+					"//nicwarp:owns fields", c.typeName(rhs), types.ExprString(lhs))
+		}
+	case storeField:
+		if c.fieldOwns(field) || c.pass.Annotated(stmt.Pos(), "owns") {
+			return
+		}
+		c.pass.Reportf(stmt.Pos(),
+			"pooled %s stored in field %s, which is not declared an owner: a "+
+				"retained pointer read after release observes a recycled object; "+
+				"annotate the field declaration //nicwarp:owns <reason> if it "+
+				"participates in the release discipline", c.typeName(rhs), types.ExprString(lhs))
+	}
+}
+
+// checkCompositeLit flags pooled pointers packed into composite-literal
+// fields that are not declared owners.
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || isNilIdent(kv.Value) {
+			continue
+		}
+		if !c.containsPooled(c.pass.TypesInfo.TypeOf(kv.Value)) {
+			continue
+		}
+		if named != nil {
+			if fact := c.pass.Facts.FieldFact(named, key.Name); fact != nil && fact.Owns {
+				continue
+			}
+		}
+		if c.pass.Annotated(kv.Pos(), "owns") || c.pass.Annotated(lit.Pos(), "owns") {
+			continue
+		}
+		_ = st
+		c.pass.Reportf(kv.Pos(),
+			"pooled %s packed into field %s.%s, which is not declared an owner; "+
+				"annotate the field declaration //nicwarp:owns <reason>",
+			c.typeName(kv.Value), typeLabel(named, t), key.Name)
+	}
+}
+
+type storeRoot int
+
+const (
+	storeLocal storeRoot = iota
+	storePkgVar
+	storeField
+)
+
+// storeTarget classifies an assignment target: local variable, package
+// variable, or struct field (returning the field's selection).
+func (c *checker) storeTarget(lhs ast.Expr) (storeRoot, *types.Selection) {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SliceExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if sel, ok := c.pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				return storeField, sel
+			}
+			// Package-qualified var (pkg.Var = ...).
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := c.pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					if v, ok := c.pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && isPkgLevel(v) {
+						return storePkgVar, nil
+					}
+				}
+			}
+			return storeLocal, nil
+		case *ast.Ident:
+			if v, ok := c.pass.TypesInfo.Uses[e].(*types.Var); ok && isPkgLevel(v) {
+				return storePkgVar, nil
+			}
+			return storeLocal, nil
+		default:
+			return storeLocal, nil
+		}
+	}
+}
+
+// fieldOwns reports whether the selected field is a declared owner.
+func (c *checker) fieldOwns(sel *types.Selection) bool {
+	if sel == nil {
+		return false
+	}
+	recv := sel.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	fact := c.pass.Facts.FieldFact(named, sel.Obj().Name())
+	return fact != nil && fact.Owns
+}
+
+// ---- rules 1 and 3: straight-line dataflow --------------------------------
+
+// deadMark records why a path became unusable.
+type deadMark struct {
+	what string // "transferred to route" / "may dangle after alloc"
+	kind string // "transfer" or "arena"
+}
+
+// state is the per-block tracking: dead paths and live arena pointers.
+type state struct {
+	dead  map[string]deadMark
+	arena map[string]string // local ident -> arena expression it points into
+}
+
+func newState() *state {
+	return &state{dead: map[string]deadMark{}, arena: map[string]string{}}
+}
+
+func (s *state) clone() *state {
+	n := newState()
+	//nicwarp:ordered map-to-map copy, order-insensitive
+	for k, v := range s.dead {
+		n.dead[k] = v
+	}
+	//nicwarp:ordered map-to-map copy, order-insensitive
+	for k, v := range s.arena {
+		n.arena[k] = v
+	}
+	return n
+}
+
+// walkBlock processes statements in order, threading the tracking state.
+func (c *checker) walkBlock(stmts []ast.Stmt, st *state) {
+	for _, stmt := range stmts {
+		c.walkStmt(stmt, st)
+	}
+}
+
+// walkStmt handles one statement: its own expressions flow through the
+// tracker; nested bodies recurse with a cloned state so a branch-local
+// transfer never leaks to the merge point (branch-conservative: the
+// analyzer under-reports rather than false-positives after merges).
+func (c *checker) walkStmt(stmt ast.Stmt, st *state) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c.flow(s, []ast.Expr{s.X}, nil, st)
+	case *ast.AssignStmt:
+		exprs := append([]ast.Expr{}, s.Rhs...)
+		exprs = append(exprs, s.Lhs...)
+		c.flow(s, exprs, s.Lhs, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.flow(s, vs.Values, nil, st)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		c.flow(s, s.Results, nil, st)
+	case *ast.IncDecStmt:
+		c.flow(s, []ast.Expr{s.X}, nil, st)
+	case *ast.SendStmt:
+		c.flow(s, []ast.Expr{s.Chan, s.Value}, nil, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		c.flow(s, []ast.Expr{s.Cond}, nil, st)
+		c.walkBlock(s.Body.List, st.clone())
+		if s.Else != nil {
+			c.walkStmt(s.Else, st.clone())
+		}
+	case *ast.BlockStmt:
+		c.walkBlock(s.List, st)
+	case *ast.ForStmt:
+		inner := st.clone()
+		if s.Init != nil {
+			c.walkStmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			c.flow(s, []ast.Expr{s.Cond}, nil, inner)
+		}
+		c.walkBlock(s.Body.List, inner)
+		if s.Post != nil {
+			c.walkStmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		c.flow(s, []ast.Expr{s.X}, nil, st)
+		inner := st.clone()
+		// Range variables are freshly assigned each iteration.
+		for _, v := range [...]ast.Expr{s.Key, s.Value} {
+			if v != nil {
+				if p, ok := c.pathOf(v); ok {
+					delete(inner.dead, p)
+				}
+			}
+		}
+		c.walkBlock(s.Body.List, inner)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.flow(s, []ast.Expr{s.Tag}, nil, st)
+		}
+		for _, cc := range s.Body.List {
+			if cs, ok := cc.(*ast.CaseClause); ok {
+				inner := st.clone()
+				c.flow(s, cs.List, nil, inner)
+				c.walkBlock(cs.Body, inner)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		for _, cc := range s.Body.List {
+			if cs, ok := cc.(*ast.CaseClause); ok {
+				c.walkBlock(cs.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if comm, ok := cc.(*ast.CommClause); ok {
+				c.walkBlock(comm.Body, st.clone())
+			}
+		}
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, st)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred/concurrent execution escapes straight-line order; the
+		// reads happen later, so only check them against the current state.
+		var call *ast.CallExpr
+		if d, ok := s.(*ast.DeferStmt); ok {
+			call = d.Call
+		} else {
+			call = s.(*ast.GoStmt).Call
+		}
+		c.reportDeadReads(call, st, nil)
+	}
+}
+
+// flow checks the statement's expressions against the dead set, then
+// applies its revives (assignment targets) and kills (ownership transfers,
+// arena growth).
+func (c *checker) flow(stmt ast.Stmt, exprs []ast.Expr, assigns []ast.Expr, st *state) {
+	// Identify ownership transfers and growth calls in this statement.
+	type kill struct {
+		path string
+		mark deadMark
+	}
+	var kills []kill
+	skip := map[ast.Node]bool{}
+	grows := false
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := c.calleeFunc(call)
+			if fn == nil {
+				return true
+			}
+			fact := c.pass.Facts.FuncFact(fn)
+			if fact == nil {
+				return true
+			}
+			if fact.Grows {
+				grows = true
+			}
+			if fact.Owns {
+				args := call.Args
+				for _, arg := range args {
+					if !c.isPooledPtr(c.pass.TypesInfo.TypeOf(arg)) {
+						continue
+					}
+					if p, ok := c.pathOf(arg); ok {
+						kills = append(kills, kill{p, deadMark{
+							what: "ownership transferred to " + fn.Name(),
+							kind: "transfer",
+						}})
+						// The transferring read itself is fine — unless the
+						// path is already dead, in which case this is a
+						// double release and must be reported.
+						if _, already := st.dead[p]; !already {
+							skip[arg] = true
+						}
+					}
+				}
+				// Method receivers are not consumed; only arguments are.
+			}
+			return true
+		})
+	}
+	// Exact assignment targets are writes, not reads.
+	for _, a := range assigns {
+		if a == nil {
+			continue
+		}
+		if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+			skip[id] = true
+		} else if sel, ok := ast.Unparen(a).(*ast.SelectorExpr); ok {
+			skip[sel] = true
+		}
+	}
+	for _, e := range exprs {
+		if e != nil {
+			c.reportDeadReads(e, st, skip)
+		}
+	}
+	// Revive assignment targets (the variable now holds a fresh value) and
+	// record new arena pointers.
+	for i, a := range assigns {
+		if a == nil {
+			continue
+		}
+		if p, ok := c.pathOf(a); ok {
+			delete(st.dead, p)
+			delete(st.arena, p)
+			// A fresh value also revives every sub-path tracked under it.
+			//nicwarp:ordered merging dead sets, order-insensitive
+			for k := range st.dead {
+				if strings.HasPrefix(k, p+".") {
+					delete(st.dead, k)
+				}
+			}
+			if as, ok := stmt.(*ast.AssignStmt); ok && len(as.Rhs) == len(as.Lhs) {
+				if arenaExpr, ok := c.arenaElemAddr(as.Rhs[i]); ok {
+					st.arena[p] = arenaExpr
+				}
+			}
+		}
+	}
+	// Apply kills.
+	for _, k := range kills {
+		st.dead[k.path] = k.mark
+	}
+	if grows {
+		//nicwarp:ordered merging arena sets, order-insensitive
+		for local, arenaExpr := range st.arena {
+			st.dead[local] = deadMark{
+				what: "points into " + arenaExpr + ", which a //nicwarp:grows call may have reallocated",
+				kind: "arena",
+			}
+			delete(st.arena, local)
+		}
+	}
+}
+
+// reportDeadReads flags every read of a dead path inside expr, skipping the
+// nodes that this statement itself kills or writes.
+func (c *checker) reportDeadReads(expr ast.Expr, st *state, skip map[ast.Node]bool) {
+	if len(st.dead) == 0 {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if skip[n] {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		p, ok := c.pathOf(e)
+		if !ok {
+			return true
+		}
+		// The path itself, or any prefix of it, being dead makes this a
+		// read through a released object.
+		for probe := p; probe != ""; probe = parentPath(probe) {
+			if mark, dead := st.dead[probe]; dead {
+				switch mark.kind {
+				case "arena":
+					c.pass.Reportf(e.Pos(),
+						"use of %s after arena growth: %s; re-derive the pointer "+
+							"from the slot index after the call", p, mark.what)
+				default:
+					c.pass.Reportf(e.Pos(),
+						"use of %s after release: %s, and a released object may be "+
+							"recycled at any allocation; the pool's exclusive-ownership "+
+							"contract forbids this read", p, mark.what)
+				}
+				return false
+			}
+		}
+		// Don't descend into a matched selector's parts twice.
+		_, isSel := e.(*ast.SelectorExpr)
+		return !isSel
+	})
+}
+
+// pathOf renders an ident or field-selector chain rooted at a local
+// identifier as a stable string path ("e", "e.ev"); other expressions are
+// not tracked.
+func (c *checker) pathOf(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.ObjectOf(e)
+		if v, ok := obj.(*types.Var); ok && !isPkgLevel(v) {
+			return e.Name, true
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		sel, ok := c.pass.TypesInfo.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return "", false
+		}
+		base, ok := c.pathOf(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// parentPath strips the last selector segment ("e.ev" -> "e", "e" -> "").
+func parentPath(p string) string {
+	if i := strings.LastIndexByte(p, '.'); i >= 0 {
+		return p[:i]
+	}
+	return ""
+}
+
+// arenaElemAddr reports whether e takes the address of an element of an
+// arena field (`&x.f[i]` with f declared //nicwarp:owns and arena-shaped),
+// returning the arena expression text.
+func (c *checker) arenaElemAddr(e ast.Expr) (string, bool) {
+	ue, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return "", false
+	}
+	ix, ok := ast.Unparen(ue.X).(*ast.IndexExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(ix.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return "", false
+	}
+	recv := selection.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	fact := c.pass.Facts.FieldFact(named, selection.Obj().Name())
+	if fact == nil || !fact.Arena {
+		return "", false
+	}
+	return types.ExprString(ix.X), true
+}
+
+// calleeFunc resolves the static callee of a call, or nil.
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// typeName renders the pooled type of e for diagnostics.
+func (c *checker) typeName(e ast.Expr) string {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return "object"
+	}
+	return t.String()
+}
+
+func typeLabel(named *types.Named, t types.Type) string {
+	if named != nil {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func isPkgLevel(v *types.Var) bool {
+	return v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,13 @@
+package poolown_test
+
+import (
+	"testing"
+
+	"nicwarp/internal/analysis/framework/analysistest"
+	"nicwarp/internal/analysis/poolown"
+)
+
+func TestPoolown(t *testing.T) {
+	analysistest.Run(t, "../testdata", poolown.Analyzer,
+		"poolown_ok", "poolown_bad", "poolown_xpkg")
+}

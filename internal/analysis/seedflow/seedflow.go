@@ -1,0 +1,423 @@
+// Package seedflow is a taint analysis for entropy: values derived from
+// ambient nondeterminism must never reach the simulation's deterministic
+// surfaces. The repo's reproducibility story (DESIGN.md "Determinism
+// invariants") rests on every run being a pure function of the seed in
+// core.Config — the config digest, the committed event stream and the
+// protocol oracles all assume it. One `time.Now().UnixNano()` seed or one
+// "pick any map key" default silently converts a reproducible experiment
+// into an unreproducible one, and nothing crashes: the stress harness just
+// stops being able to replay failures.
+//
+// Taint sources:
+//
+//   - math/rand and crypto/rand calls (any function or method)
+//   - time.Now / time.Since / time.Until
+//   - the loop variables of a map range (iteration order is seeded per
+//     process; a value plucked out of it is order-derived)
+//   - calls to module functions whose exported Tainted fact says their
+//     result derives from one of the above
+//
+// The ONLY sanctioned randomness is nicwarp/internal/rng — the
+// deterministic xorshift source that all model randomness flows through —
+// so rng calls are clean by definition.
+//
+// Taint propagates through local assignments and across package boundaries
+// via function facts. It is reported when it reaches a sink: a field store
+// or composite literal of the sink types (by default core.Config, whose
+// Digest stamps every results row, and timewarp.Event, whose payloads and
+// timestamps are committed simulation output). A site annotated
+// `//nicwarp:seeded <reason>` is an acknowledged entropy intake — the one
+// place a fresh seed may legitimately enter (e.g. a CLI default that is
+// then printed and recorded).
+package seedflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"nicwarp/internal/analysis/framework"
+)
+
+// DefaultSinks lists the types whose fields are deterministic surfaces.
+const DefaultSinks = "nicwarp/internal/core.Config,nicwarp/internal/timewarp.Event"
+
+// CleanPkg is the sanctioned deterministic randomness source.
+const CleanPkg = "nicwarp/internal/rng"
+
+// Analyzer implements the seedflow check.
+var Analyzer = &framework.Analyzer{
+	Name: "seedflow",
+	Doc: "taint analysis from ambient entropy (math/rand, crypto/rand, " +
+		"time.Now, map iteration order) to deterministic surfaces " +
+		"(core.Config fields, event payloads); only internal/rng is clean",
+	Run:      run,
+	FactsRun: factsRun,
+}
+
+var sinksList string
+
+func init() {
+	Analyzer.Flags.StringVar(&sinksList, "sinks", DefaultSinks,
+		"comma-separated pkgpath.Type list of deterministic sink types")
+}
+
+type checker struct {
+	pass  *framework.Pass
+	sinks map[string]bool
+}
+
+func newChecker(pass *framework.Pass) *checker {
+	c := &checker{pass: pass, sinks: map[string]bool{}}
+	for _, entry := range strings.Split(sinksList, ",") {
+		if entry = strings.TrimSpace(entry); entry != "" {
+			c.sinks[entry] = true
+		}
+	}
+	return c
+}
+
+// factsRun computes the Tainted fact for every function whose return value
+// derives from an entropy source, iterating to a package-local fixpoint so
+// taint flows through same-package call chains regardless of declaration
+// order.
+func factsRun(pass *framework.Pass) error {
+	if pass.Pkg.Path() == CleanPkg {
+		return nil // the sanctioned source never taints
+	}
+	c := newChecker(pass)
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				fact := pass.Facts.EnsureFunc(fn)
+				if fact == nil || fact.Tainted {
+					continue
+				}
+				taint := c.localTaint(fd)
+				what := ""
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if what != "" {
+						return false
+					}
+					if ret, ok := n.(*ast.ReturnStmt); ok {
+						for _, r := range ret.Results {
+							if src := c.exprTaint(r, taint); src != "" {
+								what = src
+								break
+							}
+						}
+					}
+					return true
+				})
+				if what != "" {
+					fact.Tainted = true
+					fact.TaintWhat = what
+					changed = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Path() == CleanPkg {
+		return nil
+	}
+	if err := factsRun(pass); err != nil {
+		return err
+	}
+	c := newChecker(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			taint := c.localTaint(fd)
+			c.checkSinks(fd, taint)
+		}
+	}
+	return nil
+}
+
+// mapOrderTaint is the taint source recorded for map-range loop variables.
+// Unlike clock or rand taint it is *ordering-only* entropy: the set of
+// values is deterministic, just their sequence is not — so sorting the
+// collection launders it (the canonical collect-then-sort idiom).
+const mapOrderTaint = "map iteration order"
+
+// localTaint computes the function's tainted local variables by iterating
+// assignment propagation to fixpoint.
+func (c *checker) localTaint(fd *ast.FuncDecl) map[*types.Var]string {
+	taint := make(map[*types.Var]string)
+	sorted := c.sortedVars(fd)
+	mark := func(e ast.Expr, src string) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		v, ok := c.pass.TypesInfo.ObjectOf(id).(*types.Var)
+		if !ok || taint[v] != "" {
+			return false
+		}
+		if sorted[v] && strings.Contains(src, mapOrderTaint) {
+			return false // ordering-only taint, and the order is re-imposed
+		}
+		taint[v] = src
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var src string
+					if len(n.Rhs) == len(n.Lhs) {
+						src = c.exprTaint(n.Rhs[i], taint)
+					} else if len(n.Rhs) == 1 {
+						src = c.exprTaint(n.Rhs[0], taint)
+					}
+					if src != "" && mark(lhs, src) {
+						changed = true
+					}
+				}
+			case *ast.DeclStmt:
+				if gd, ok := n.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for i, name := range vs.Names {
+							var src string
+							if i < len(vs.Values) {
+								src = c.exprTaint(vs.Values[i], taint)
+							} else if len(vs.Values) == 1 {
+								src = c.exprTaint(vs.Values[0], taint)
+							}
+							if src != "" && mark(name, src) {
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if t := c.pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						for _, v := range [...]ast.Expr{n.Key, n.Value} {
+							if v != nil && mark(v, "map iteration order") {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return taint
+}
+
+// sortedVars collects the variables the function passes to a sorting
+// routine (sort.Strings, sort.Slice, slices.Sort, ...). Map-order taint on
+// these is laundered: ordering entropy cannot survive a sort.
+func (c *checker) sortedVars(fd *ast.FuncDecl) map[*types.Var]bool {
+	sorted := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(c.pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+			if !strings.Contains(fn.Name(), "Sort") &&
+				!sortShorthand[fn.Name()] {
+				return true
+			}
+		default:
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if v, ok := c.pass.TypesInfo.ObjectOf(id).(*types.Var); ok {
+				sorted[v] = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// sortShorthand lists package sort's slice helpers whose names do not
+// contain "Sort".
+var sortShorthand = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true, "Stable": true,
+}
+
+// exprTaint reports the entropy source an expression derives from, or "".
+func (c *checker) exprTaint(e ast.Expr, taint map[*types.Var]string) string {
+	src := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if src != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // deferred execution; not this value
+		case *ast.CallExpr:
+			if s := c.callTaint(n); s != "" {
+				src = s
+				return false
+			}
+		case *ast.Ident:
+			if v, ok := c.pass.TypesInfo.ObjectOf(n).(*types.Var); ok {
+				if s := taint[v]; s != "" {
+					src = s
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return src
+}
+
+// callTaint classifies a call as an entropy source.
+func (c *checker) callTaint(call *ast.CallExpr) string {
+	fn := calleeFunc(c.pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case CleanPkg:
+		return "" // xorshift: deterministic by construction
+	case "math/rand", "math/rand/v2":
+		return "math/rand." + fn.Name() + " (process-seeded randomness)"
+	case "crypto/rand":
+		return "crypto/rand." + fn.Name() + " (hardware entropy)"
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name() + " (wall clock)"
+		}
+		return ""
+	}
+	if fact := c.pass.Facts.FuncFact(fn); fact != nil && fact.Tainted {
+		return framework.FuncKey(fn) + " (returns " + fact.TaintWhat + ")"
+	}
+	return ""
+}
+
+// checkSinks reports tainted values reaching sink-type fields.
+func (c *checker) checkSinks(fd *ast.FuncDecl, taint map[*types.Var]string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if len(n.Rhs) != len(n.Lhs) {
+					break
+				}
+				sink := c.sinkField(lhs)
+				if sink == "" {
+					continue
+				}
+				if src := c.exprTaint(n.Rhs[i], taint); src != "" &&
+					!c.pass.Annotated(n.Pos(), "seeded") {
+					c.pass.Reportf(n.Pos(),
+						"entropy flows into %s: value derives from %s; runs are no "+
+							"longer a pure function of the seed — draw from internal/rng "+
+							"or annotate //nicwarp:seeded <reason> if this is the "+
+							"experiment's sanctioned entropy intake", sink, src)
+				}
+			}
+		case *ast.CompositeLit:
+			t := c.pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok || !c.isSinkNamed(named) {
+				return true
+			}
+			for _, elt := range n.Elts {
+				val := elt
+				label := named.Obj().Name()
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						label += "." + key.Name
+					}
+				}
+				if src := c.exprTaint(val, taint); src != "" &&
+					!c.pass.Annotated(val.Pos(), "seeded") &&
+					!c.pass.Annotated(n.Pos(), "seeded") {
+					c.pass.Reportf(val.Pos(),
+						"entropy flows into %s: value derives from %s; runs are no "+
+							"longer a pure function of the seed — draw from internal/rng "+
+							"or annotate //nicwarp:seeded <reason> if this is the "+
+							"experiment's sanctioned entropy intake", label, src)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sinkField reports "Type.field" when lhs selects a field of a sink type.
+func (c *checker) sinkField(lhs ast.Expr) string {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return ""
+	}
+	recv := selection.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || !c.isSinkNamed(named) {
+		return ""
+	}
+	return named.Obj().Name() + "." + sel.Sel.Name
+}
+
+func (c *checker) isSinkNamed(named *types.Named) bool {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return c.sinks[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+// calleeFunc resolves the static callee of a call, or nil.
+func calleeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"nicwarp/internal/analysis/framework/analysistest"
+	"nicwarp/internal/analysis/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	analysistest.Run(t, "../testdata", seedflow.Analyzer,
+		"seedflow_ok", "seedflow_bad", "seedflow_xpkg")
+}

@@ -1,0 +1,13 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"nicwarp/internal/analysis/framework/analysistest"
+	"nicwarp/internal/analysis/shardsafe"
+)
+
+func TestShardsafe(t *testing.T) {
+	analysistest.Run(t, "../testdata", shardsafe.Analyzer,
+		"shardsafe_ok", "shardsafe_bad")
+}

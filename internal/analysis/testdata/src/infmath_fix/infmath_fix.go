@@ -1,0 +1,20 @@
+// Package infmath_fix is the golden-file input for nicwarp-vet -fix: every
+// unchecked VTime addition here has a drop-in vtime.AddSat rewrite. The
+// expected output lives alongside in infmath_fix.go.golden.
+package infmath_fix
+
+import "nicwarp/internal/vtime"
+
+func advance(t, d vtime.VTime) vtime.VTime {
+	return t + d
+}
+
+func lookahead(t vtime.VTime) vtime.VTime {
+	u := t + 10
+	return u
+}
+
+// Subtraction is flagged but has no mechanical rewrite; -fix leaves it.
+func delta(a, b vtime.VTime) vtime.VTime {
+	return a - b
+}

@@ -1,0 +1,55 @@
+// Package seedflow_bad exercises the seedflow rule's flagging half:
+// ambient entropy reaching committed event payloads and timestamps.
+package seedflow_bad
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"nicwarp/internal/timewarp"
+)
+
+// Direct: process-seeded randomness into a committed payload.
+func randomPayload(e *timewarp.Event) {
+	e.Payload = uint64(rand.Int63()) // want `entropy flows into Event.Payload: value derives from math/rand.Int63`
+}
+
+// Through a local: the taint survives the assignment chain.
+func launder(e *timewarp.Event) {
+	seed := time.Now().UnixNano()
+	jitter := seed / 2
+	e.Payload = uint64(jitter) // want `entropy flows into Event.Payload: value derives from time.Now \(wall clock\)`
+}
+
+// A composite literal is the same sink as a field store.
+func freshEvent(id uint64) *timewarp.Event {
+	return &timewarp.Event{
+		ID:      id,
+		Payload: rand.Uint64(), // want `entropy flows into Event.Payload: value derives from math/rand.Uint64`
+	}
+}
+
+// "Pick any key": map iteration order is per-process seeded.
+func anyKey(m map[uint64]bool, e *timewarp.Event) {
+	for k := range m {
+		e.Payload = k // want `entropy flows into Event.Payload: value derives from map iteration order`
+		break
+	}
+}
+
+// A *rand.Rand method is still math/rand, however it was constructed.
+func viaRand(r *rand.Rand, e *timewarp.Event) {
+	e.Payload = r.Uint64() // want `entropy flows into Event.Payload: value derives from math/rand.Uint64`
+}
+
+// Sorting launders ordering entropy only: rand values are entropic in
+// themselves, so a sorted slice of draws is still tainted.
+func sortedDraws(e *timewarp.Event) {
+	draws := make([]uint64, 0, 4)
+	for i := 0; i < 4; i++ {
+		draws = append(draws, rand.Uint64())
+	}
+	sort.Slice(draws, func(i, j int) bool { return draws[i] < draws[j] })
+	e.Payload = draws[0] // want `entropy flows into Event.Payload: value derives from math/rand.Uint64`
+}

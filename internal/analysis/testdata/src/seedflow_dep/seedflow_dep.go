@@ -1,0 +1,16 @@
+// Package seedflow_dep is the dependency half of the cross-package taint
+// fixture: NowTicks' entropy derivation is exported as a Tainted fact.
+package seedflow_dep
+
+import "time"
+
+// NowTicks returns wall-clock-derived ticks; the fact layer records it as
+// tainted so importers see through the call.
+func NowTicks() uint64 {
+	return uint64(time.Now().UnixNano())
+}
+
+// Double is pure: no fact, no taint.
+func Double(v uint64) uint64 {
+	return v * 2
+}

@@ -1,0 +1,59 @@
+// Package seedflow_ok exercises the seedflow rule's non-flagging half:
+// model randomness drawn from the deterministic xorshift source, entropy
+// confined to non-sink locals, and an annotated sanctioned seed intake.
+package seedflow_ok
+
+import (
+	"sort"
+	"time"
+
+	"nicwarp/internal/rng"
+	"nicwarp/internal/timewarp"
+)
+
+// Payloads drawn from internal/rng are deterministic in the config seed.
+func deterministicPayload(src *rng.Source, e *timewarp.Event) {
+	e.Payload = src.Uint64()
+}
+
+// Deriving through locals stays clean.
+func derived(src *rng.Source, e *timewarp.Event) {
+	delay := src.ExpInt64(100)
+	e.Payload = uint64(delay)
+}
+
+// Wall-clock time used for non-sink telemetry (progress logging) never
+// reaches a deterministic surface.
+func telemetry() int64 {
+	started := time.Now()
+	return time.Since(started).Nanoseconds()
+}
+
+// An acknowledged entropy intake: the one place a fresh seed may enter,
+// annotated and recorded.
+func freshSeed(e *timewarp.Event) {
+	//nicwarp:seeded CLI default seed, echoed into the results row for replay
+	e.Payload = uint64(time.Now().UnixNano())
+}
+
+// Map iteration feeding a commutative reduction is order-insensitive and
+// the sum is not written to a sink.
+func histogram(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// The collect-then-sort idiom: map-order taint is ordering-only entropy,
+// and sorting the collected keys re-imposes a deterministic order, so the
+// result may reach a sink.
+func sortedKeys(m map[string]uint64, e *timewarp.Event) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.Payload = uint64(len(keys[0]))
+}

@@ -1,0 +1,19 @@
+// Package seedflow_xpkg exercises cross-package taint facts: the entropy
+// source lives in seedflow_dep and reaches the sink here only through the
+// exported Tainted fact.
+package seedflow_xpkg
+
+import (
+	"nicwarp/internal/timewarp"
+
+	"seedflow_dep"
+)
+
+func stampFromClock(e *timewarp.Event) {
+	e.Payload = seedflow_dep.NowTicks() // want `entropy flows into Event.Payload: value derives from seedflow_dep.NowTicks \(returns time.Now \(wall clock\)\)`
+}
+
+// A pure cross-package call carries no taint.
+func stampPure(e *timewarp.Event, v uint64) {
+	e.Payload = seedflow_dep.Double(v)
+}

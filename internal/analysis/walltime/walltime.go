@@ -19,7 +19,6 @@ import (
 	"go/ast"
 	"go/types"
 	"strconv"
-	"strings"
 
 	"nicwarp/internal/analysis/framework"
 )
@@ -58,7 +57,7 @@ var bannedTimeFuncs = map[string]bool{
 }
 
 func run(pass *framework.Pass) error {
-	if allowed(pass.Pkg.Path()) {
+	if framework.MatchPackage(allow, pass.Pkg.Path()) {
 		return nil
 	}
 	for _, file := range pass.Files {
@@ -99,22 +98,4 @@ func run(pass *framework.Pass) error {
 		})
 	}
 	return nil
-}
-
-// allowed reports whether pkgPath matches the allowlist.
-func allowed(pkgPath string) bool {
-	for _, pat := range strings.Split(allow, ",") {
-		pat = strings.TrimSpace(pat)
-		if pat == "" {
-			continue
-		}
-		if base, ok := strings.CutSuffix(pat, "/..."); ok {
-			if pkgPath == base || strings.HasPrefix(pkgPath, base+"/") {
-				return true
-			}
-		} else if pkgPath == pat {
-			return true
-		}
-	}
-	return false
 }

@@ -3,6 +3,7 @@ package walltime
 import (
 	"testing"
 
+	"nicwarp/internal/analysis/framework"
 	"nicwarp/internal/analysis/framework/analysistest"
 )
 
@@ -11,9 +12,7 @@ func TestWalltime(t *testing.T) {
 }
 
 func TestAllowed(t *testing.T) {
-	old := allow
-	defer func() { allow = old }()
-	allow = "nicwarp/cmd/...,nicwarp/examples/...,nicwarp/internal/special"
+	allow := "nicwarp/cmd/...,nicwarp/examples/...,nicwarp/internal/special"
 
 	cases := []struct {
 		pkg  string
@@ -29,8 +28,8 @@ func TestAllowed(t *testing.T) {
 		{"walltime_bad", false},
 	}
 	for _, c := range cases {
-		if got := allowed(c.pkg); got != c.want {
-			t.Errorf("allowed(%q) = %v, want %v", c.pkg, got, c.want)
+		if got := framework.MatchPackage(allow, c.pkg); got != c.want {
+			t.Errorf("MatchPackage(%q) = %v, want %v", c.pkg, got, c.want)
 		}
 	}
 }

@@ -232,7 +232,7 @@ type node struct {
 	// CPU jobs that transmit them. The CPU resource completes jobs in
 	// submission order, so a FIFO ring pairs each nodeSendBatch job with
 	// the batch pushed when it was submitted — no per-step closure.
-	sendBatches [][]*timewarp.Event
+	sendBatches [][]*timewarp.Event //nicwarp:owns in flight toward the NIC; events recycled after encoding
 	batchHead   int
 	// inbox pairs inbound packets with their rx-slot release callbacks for
 	// the DMA + absorb pipeline (same FIFO-completion argument: the bus and
@@ -242,7 +242,7 @@ type node struct {
 	// outbox holds packets DMAing toward the NIC; the bus is FIFO, so each
 	// completion pops exactly the packet pushed for it — no per-packet
 	// closure on the transmit path.
-	outbox     []*proto.Packet
+	outbox     []*proto.Packet //nicwarp:owns DMA queue; packets leave via the NIC or the free list
 	outboxHead int
 	// scratchEv is the reused decode target for inbound event packets; the
 	// kernel copies at the Deliver boundary.
@@ -256,7 +256,7 @@ type node struct {
 
 // inboundPkt is one packet crossing the NIC-to-host pipeline.
 type inboundPkt struct {
-	pkt  *proto.Packet
+	pkt  *proto.Packet //nicwarp:owns pipeline slot; released when the host decodes the packet
 	done func()
 }
 
@@ -309,7 +309,7 @@ type Cluster struct {
 	// has decoded them. Control packets and broadcast clones are allocated
 	// fresh and simply feed the pool once they pass through hostReceive's
 	// event path — never, in practice, since only event kinds are released.
-	pktFree []*proto.Packet
+	pktFree []*proto.Packet //nicwarp:owns the packet free list is the release destination itself
 
 	finalGVT vtime.VTime
 	samples  []Sample

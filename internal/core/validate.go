@@ -27,7 +27,7 @@ func (e *FieldError) Error() string {
 
 // gvtModeNames maps the CLI spellings to GVT modes. Keep in sync with
 // GVTMode.String, which these names round-trip through.
-var gvtModeNames = map[string]GVTMode{
+var gvtModeNames = map[string]GVTMode{ //nicwarp:sharded init-only lookup table, never written after package init
 	"mattern": GVTHostMattern,
 	"nic":     GVTNIC,
 	"nic-gvt": GVTNIC,

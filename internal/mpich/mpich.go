@@ -68,9 +68,9 @@ type Endpoint struct {
 	node     int
 	transmit func(*proto.Packet)
 
-	credits map[int32]int // per destination, remaining send credits
-	owed    map[int32]int // per source, credit to return
-	waiting map[int32][]*proto.Packet
+	credits map[int32]int             // per destination, remaining send credits
+	owed    map[int32]int             // per source, credit to return
+	waiting map[int32][]*proto.Packet //nicwarp:owns stalled sends; drained to the wire when credit arrives
 
 	// Stats.
 	Sent         stats.Counter // packets passed to transmit

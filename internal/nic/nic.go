@@ -178,7 +178,7 @@ type Stats struct {
 
 // outEntry is one transmit-queue slot.
 type outEntry struct {
-	pkt     *proto.Packet
+	pkt     *proto.Packet //nicwarp:owns transmit-queue slot; cleared when the packet leaves the queue
 	fromNIC bool
 }
 
@@ -208,7 +208,7 @@ type NIC struct {
 	// slice would grow, so steady-state queueing allocates nothing.
 	sendQ     []outEntry
 	sendHead  int
-	recvQ     []*proto.Packet
+	recvQ     []*proto.Packet //nicwarp:owns receive ring; slots nilled as packets advance to rxPkt
 	recvHead  int
 	txPumping bool
 	rxPumping bool
@@ -228,7 +228,7 @@ type NIC struct {
 	// trampolines below) replace per-packet completion closures.
 	txEntry   outEntry
 	txVerdict Verdict
-	rxPkt     *proto.Packet
+	rxPkt     *proto.Packet //nicwarp:owns in-flight receive; nilled by nicRxProcessed
 	rxVerdict Verdict
 
 	releaseRxFn func() // n.releaseRx as a once-allocated func value
@@ -239,8 +239,10 @@ type NIC struct {
 
 	pendingCycles int64 // accumulated via API.Charge during a hook
 
-	sqScratch []*proto.Packet // reused by API.SendQueue
-	rmScratch []*proto.Packet // reused by API.RemoveFromSendQueue
+	// The scratch slices back the []*proto.Packet views handed to firmware
+	// hooks; they are valid only until the hook returns (clearScratch).
+	sqScratch []*proto.Packet //nicwarp:owns hook-scoped view, emptied by clearScratch when the hook returns
+	rmScratch []*proto.Packet //nicwarp:owns hook-scoped view, emptied by clearScratch when the hook returns
 
 	Stats Stats
 }
@@ -477,6 +479,7 @@ func (n *NIC) txPump() {
 	verdict := VerdictForward
 	if !entry.fromNIC {
 		verdict = n.fw.OnHostSend(entry.pkt, apiImpl{n})
+		n.clearScratch()
 	}
 	// txPumping covers both transmit stages (processor, then serializer), so
 	// the in-flight entry rides on the NIC struct instead of a closure.
@@ -581,6 +584,7 @@ func (n *NIC) rxPump() {
 	// the NIC struct instead of a closure.
 	n.rxPkt = pkt
 	n.rxVerdict = n.fw.OnWireReceive(pkt, apiImpl{n})
+	n.clearScratch()
 	cost := n.cycles(n.cfg.RecvCycles + n.takeCharge())
 	n.proc.SubmitArg(cost, nicRxProcessed, n)
 }
@@ -622,8 +626,23 @@ func nicRxProcessed(x interface{}) {
 // after a shared-window update.
 func (n *NIC) Doorbell() {
 	n.fw.OnDoorbell(apiImpl{n})
+	n.clearScratch()
 	cost := n.cycles(n.takeCharge())
 	n.proc.Submit(cost, nil)
+}
+
+// clearScratch empties the firmware-facing scratch slices after a hook
+// returns. The packets they point at go back to the cluster pool as soon
+// as the destination host decodes them; a pointer lingering in a backing
+// array between hooks would resurface as a recycled object if any later
+// hook read a stale tail, and pins the packet against collection
+// meanwhile. (Surfaced by the poolown analyzer: latent pooled-pointer
+// retention. Regression-tested by TestScratchClearedAfterHooks.)
+func (n *NIC) clearScratch() {
+	clear(n.sqScratch[:cap(n.sqScratch)])
+	n.sqScratch = n.sqScratch[:0]
+	clear(n.rmScratch[:cap(n.rmScratch)])
+	n.rmScratch = n.rmScratch[:0]
 }
 
 // apiImpl implements API as a view over the NIC. A distinct type keeps the

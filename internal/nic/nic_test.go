@@ -339,3 +339,48 @@ func TestVerdictString(t *testing.T) {
 		t.Fatal("verdict strings")
 	}
 }
+
+func TestScratchClearedAfterHooks(t *testing.T) {
+	// Regression for a latent pooled-pointer retention surfaced by the
+	// poolown analyzer: the SendQueue/RemoveFromSendQueue scratch slices
+	// kept packet pointers in their backing arrays between firmware hooks,
+	// pinning packets the pool had long since recycled.
+	r := newRig(t, 2, func(i int) Firmware {
+		if i == 0 {
+			return &stubFirmware{onWireReceive: func(p *proto.Packet, a API) Verdict {
+				if p.IsAnti() {
+					_ = a.SendQueue()
+					a.RemoveFromSendQueue(func(q *proto.Packet) bool {
+						return q.SendTS > p.RecvTS
+					})
+				}
+				return VerdictForward
+			}}
+		}
+		return &stubFirmware{}
+	})
+	for k := 0; k < 5; k++ {
+		p := evPkt(0, 1)
+		p.SendTS = vtime.VTime(100 + k*10)
+		p.EventID = uint64(k)
+		r.nics[0].HostEnqueue(p)
+	}
+	anti := &proto.Packet{Kind: proto.KindAnti, SrcNode: 1, DstNode: 0, RecvTS: 115}
+	r.nics[1].HostEnqueue(anti)
+	r.eng.Run(vtime.ModelInfinity)
+	for _, n := range r.nics {
+		if cap(n.sqScratch) == 0 && cap(n.rmScratch) == 0 {
+			continue
+		}
+		for i, p := range n.sqScratch[:cap(n.sqScratch)] {
+			if p != nil {
+				t.Errorf("node %d: sqScratch[%d] retains %p after hooks", n.node, i, p)
+			}
+		}
+		for i, p := range n.rmScratch[:cap(n.rmScratch)] {
+			if p != nil {
+				t.Errorf("node %d: rmScratch[%d] retains %p after hooks", n.node, i, p)
+			}
+		}
+	}
+}

@@ -31,7 +31,7 @@ type Case struct {
 }
 
 // Depths are the steady-state queue depths every mix runs at.
-var Depths = []int{1_000, 100_000, 1_000_000}
+var Depths = []int{1_000, 100_000, 1_000_000} //nicwarp:sharded init-only sweep table shared read-only by benchmarks
 
 // Cases returns the full microbenchmark suite in a fixed order.
 func Cases() []Case { return CasesUpTo(0) }

@@ -49,6 +49,8 @@ func NewFor(seed uint64, component uint64) Source {
 }
 
 // Uint64 returns the next 64 pseudo-random bits.
+//
+//nicwarp:hotpath every model random draw funnels through this xorshift step
 func (s *Source) Uint64() uint64 {
 	x := s.state
 	x ^= x >> 12

@@ -100,7 +100,7 @@ type transit struct {
 	f       *Fabric
 	srcPort int
 	dstPort int
-	pkt     *proto.Packet
+	pkt     *proto.Packet //nicwarp:owns wire transit; handed to the receiver NIC on arrival
 	next    *transit
 }
 

@@ -47,7 +47,7 @@ type Event struct {
 	// copied or recycled with stale values are safe, and neither
 	// participates in identity (sameIdentity) or the wire encoding.
 	pos   int32
-	inext *Event
+	inext *Event //nicwarp:owns intrusive index chain; unlinked by pendIndex.del, overwritten on insert
 }
 
 // MakeEventID composes the deterministic event ID from the sending object

@@ -88,9 +88,9 @@ type snapshot struct {
 // The three former parallel slices (processed/states/outputs) are one
 // struct so the ring-buffer head index advances them together.
 type histEntry struct {
-	ev      *Event
+	ev      *Event //nicwarp:owns history record; released by fossil collection or returned on rollback
 	state   snapshot
-	outputs []*Event
+	outputs []*Event //nicwarp:owns sent positives held for anti-generation; recycled on commit
 }
 
 // objRuntime carries the kernel bookkeeping for one local object.
@@ -118,8 +118,8 @@ type objRuntime struct {
 
 	sendSeq uint64
 
-	lazyPending []*Event // cancelled outputs awaiting re-send match (lazy mode)
-	zombies     []*Event // unmatched anti-messages
+	lazyPending []*Event //nicwarp:owns cancelled outputs awaiting re-send match (lazy mode); recycled on commit
+	zombies     []*Event //nicwarp:owns unmatched anti-messages; recycled on annihilation or fossil collection
 	fossilCount int      // history entries already reclaimed
 
 	heapIdx int // position in the kernel scheduler heap
@@ -222,7 +222,7 @@ type StepResult struct {
 	// emission order. Ownership transfers to the caller: the kernel keeps
 	// no reference, and the caller may return the events to the kernel's
 	// pool with Recycle once it is done with them.
-	Remote []*Event
+	Remote []*Event //nicwarp:owns ownership transfers to the caller, who recycles via Recycle
 	// Rollbacks is the number of rollback episodes triggered.
 	Rollbacks int
 	// UndoneEvents is the number of executed events undone.
@@ -250,7 +250,7 @@ type Kernel struct {
 	// nil each call because its ownership transfers to the caller.
 	resVal StepResult
 	res    *StepResult
-	localQ []*Event
+	localQ []*Event //nicwarp:owns per-call scratch, drained before the entry point returns
 	// ctxScratch is the reused Execute context: Execute never nests and no
 	// object may retain its Context past the call, so one value serves
 	// every step without allocating.
@@ -258,7 +258,7 @@ type Kernel struct {
 	// remoteSpare holds backing arrays handed back via RecycleRemoteBuf;
 	// route drafts one for a step's first remote emission instead of
 	// growing a fresh Remote slice from nil.
-	remoteSpare [][]*Event
+	remoteSpare [][]*Event //nicwarp:owns spare backing arrays; RecycleRemoteBuf nils every slot on hand-back
 
 	booted bool
 	// histCount is the total number of retained processed events across all

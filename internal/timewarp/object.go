@@ -36,7 +36,7 @@ type Context struct {
 	st      *objRuntime
 	now     vtime.VTime
 	inInit  bool
-	current *Event
+	current *Event //nicwarp:owns Execute-scoped view; ctxScratch is overwritten at the next step
 }
 
 // Self returns the executing object's ID.

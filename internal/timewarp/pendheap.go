@@ -28,7 +28,7 @@ type pendHeap struct {
 // aside.
 type pendSlot struct {
 	recv vtime.VTime
-	ev   *Event
+	ev   *Event //nicwarp:owns pending-queue slot; removed before Recycle
 }
 
 // pendArity must be 2: see the type comment — tie order between
@@ -67,12 +67,16 @@ func (h *pendHeap) Min() *Event { return h.s[0].ev }
 func (h *pendHeap) Slots() []pendSlot { return h.s }
 
 // Push inserts ev keyed by its RecvTS.
+//
+//nicwarp:hotpath pending-queue insert, executed once per delivered event
 func (h *pendHeap) Push(ev *Event) {
-	h.s = append(h.s, pendSlot{})
+	h.s = append(h.s, pendSlot{}) //nicwarp:alloc heap growth, amortized across the run
 	h.up(len(h.s)-1, pendSlot{recv: ev.RecvTS, ev: ev})
 }
 
 // Pop removes and returns the lowest event. Panics when empty.
+//
+//nicwarp:hotpath pending-queue extract, executed once per executed event
 func (h *pendHeap) Pop() *Event {
 	min := h.s[0].ev
 	n := len(h.s) - 1
@@ -87,6 +91,8 @@ func (h *pendHeap) Pop() *Event {
 }
 
 // Remove deletes the event at slot i (its pos field). O(log n).
+//
+//nicwarp:hotpath annihilation removal, executed once per cancelled event
 func (h *pendHeap) Remove(i int) {
 	ev := h.s[i].ev
 	n := len(h.s) - 1

@@ -15,7 +15,7 @@ package timewarp
 // an annihilation removes (and hence the heap's structural evolution) is
 // unchanged.
 type pendIndex struct {
-	buckets []*Event
+	buckets []*Event //nicwarp:owns identity-index heads; entries unlinked before Recycle
 	n       int
 }
 
@@ -30,9 +30,11 @@ func (ix *pendIndex) bucket(id uint64) int {
 }
 
 // add links ev at the head of its chain.
+//
+//nicwarp:hotpath identity-index insert, executed once per delivered event
 func (ix *pendIndex) add(ev *Event) {
 	if ix.n >= len(ix.buckets)*2 {
-		ix.grow()
+		ix.grow() //nicwarp:alloc table doubling, amortized across the run
 	}
 	b := ix.bucket(ev.ID)
 	ev.inext = ix.buckets[b]
@@ -41,6 +43,8 @@ func (ix *pendIndex) add(ev *Event) {
 }
 
 // del unlinks ev from its chain. ev must be present.
+//
+//nicwarp:hotpath identity-index unlink, executed once per executed event
 func (ix *pendIndex) del(ev *Event) {
 	b := ix.bucket(ev.ID)
 	if p := ix.buckets[b]; p == ev {

@@ -17,12 +17,14 @@ package timewarp
 // anti-messages. Every allocation fully overwrites the struct, so a
 // recycled event can never leak a stale field into identity comparison.
 type eventPool struct {
-	free     []*Event
-	disabled bool // property tests disable reuse to prove observational equivalence
+	free     []*Event //nicwarp:owns the pool free list is the release destination itself
+	disabled bool     // property tests disable reuse to prove observational equivalence
 }
 
 // get returns an event with unspecified contents; the caller must overwrite
 // every field.
+//
+//nicwarp:hotpath per-event acquisition on the execution fast path (Fig4 allocs/op gate)
 func (p *eventPool) get() *Event {
 	if n := len(p.free); n > 0 {
 		e := p.free[n-1]
@@ -30,16 +32,18 @@ func (p *eventPool) get() *Event {
 		p.free = p.free[:n-1]
 		return e
 	}
-	return &Event{}
+	return &Event{} //nicwarp:alloc pool miss; amortized to zero by reuse
 }
 
 // put returns an event to the pool. The caller guarantees no live structure
 // still references it.
+//
+//nicwarp:hotpath per-event release on the execution fast path (Fig4 allocs/op gate)
 func (p *eventPool) put(e *Event) {
 	if p.disabled || e == nil {
 		return
 	}
-	p.free = append(p.free, e)
+	p.free = append(p.free, e) //nicwarp:alloc free-list growth, amortized across the run
 }
 
 // release returns an event the kernel owns to the pool.

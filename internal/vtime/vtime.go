@@ -55,6 +55,8 @@ func MinV(a, b VTime) VTime {
 // Infinity as Infinity. Underflow (both operands hugely negative) cannot
 // occur with this repo's nonnegative timestamps and panics loudly rather
 // than wrapping.
+//
+//nicwarp:hotpath timestamp arithmetic on every event send
 func AddSat(a, b VTime) VTime {
 	if a.IsInf() || b.IsInf() {
 		return Infinity
@@ -73,6 +75,8 @@ func AddSat(a, b VTime) VTime {
 // saturating at Infinity. It is the checked helper for the universal
 // Time Warp operation "schedule at now + delay"; a negative delay is a
 // causality violation and panics.
+//
+//nicwarp:hotpath clock advance on every executed event
 func Advance(t, d VTime) VTime {
 	if d < 0 {
 		panic("vtime: Advance with negative delay")

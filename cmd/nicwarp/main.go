@@ -6,7 +6,7 @@
 //
 //	nicwarp -app raid -requests 50000 -gvt nic -period 10
 //	nicwarp -app police -stations 900 -cancel
-//	nicwarp -app phold -nodes 4 -gvt mattern -period 100
+//	nicwarp -app phold -nodes 4 -gvt mattern -period 100 -shards 4
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"nicwarp"
+	"nicwarp/internal/cliopt"
 	"nicwarp/internal/core"
 	"nicwarp/internal/vtime"
 )
@@ -39,7 +40,8 @@ func main() {
 		app      = flag.String("app", "phold", "application: raid, police, phold, pcs")
 		nodes    = flag.Int("nodes", 8, "cluster size (LPs)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
-		gvtMode  = flag.String("gvt", "mattern", "GVT implementation: mattern, nic, pgvt")
+		gvtMode  = cliopt.GVT(flag.CommandLine, core.GVTHostMattern)
+		shards   = cliopt.Shards(flag.CommandLine)
 		period   = flag.Int("period", 1000, "GVT period (GVT_COUNT)")
 		cancel   = flag.Bool("cancel", false, "enable NIC early cancellation")
 		lazy     = flag.Bool("lazy", false, "use lazy cancellation in the kernel")
@@ -55,6 +57,7 @@ func main() {
 	cfg := nicwarp.Config{
 		Nodes:        *nodes,
 		Seed:         *seed,
+		GVT:          *gvtMode,
 		GVTPeriod:    *period,
 		EarlyCancel:  *cancel,
 		VerifyOracle: *verify,
@@ -62,14 +65,6 @@ func main() {
 	if *samples {
 		cfg.SampleEvery = 10 * vtime.Millisecond
 	}
-	mode, err := core.ParseGVTMode(*gvtMode)
-	if err != nil {
-		// err is a *core.FieldError naming the field and the accepted
-		// spellings; point it at the flag.
-		fmt.Fprintf(os.Stderr, "-gvt: %v\n", err)
-		os.Exit(2)
-	}
-	cfg.GVT = mode
 	if *lazy {
 		cfg.Cancellation = nicwarp.Lazy
 	}
@@ -97,7 +92,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := nicwarp.Run(cfg)
+	res, err := nicwarp.Run(cfg, nicwarp.WithShards(*shards))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", err)
 		os.Exit(1)

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"nicwarp/internal/cliopt"
 	"nicwarp/internal/fault"
 	"nicwarp/internal/runner"
 	"nicwarp/internal/stress"
@@ -36,6 +37,7 @@ func main() {
 		seeds     = flag.String("seeds", "1,2,3,4", "comma-separated fault seeds")
 		nodes     = flag.Int("nodes", 4, "cluster size")
 		scale     = flag.Float64("scale", 1.0, "workload scale")
+		shards    = cliopt.Shards(flag.CommandLine)
 		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel points (1 = serial)")
 		cacheDir  = flag.String("cache", "", "persist point results under this directory keyed on config digest")
 		out       = flag.String("out", "", "write the JSON report to this file")
@@ -59,6 +61,7 @@ func main() {
 		Scenarios: scenarioList(*scenarios),
 		Nodes:     *nodes,
 		Scale:     *scale,
+		Shards:    *shards,
 		Workers:   *workers,
 		Verify:    *verify,
 		Shrink:    *shrink,

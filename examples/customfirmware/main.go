@@ -60,7 +60,7 @@ func (f *censusFirmware) OnDoorbell(api nic.API) {}
 func main() {
 	eng := des.NewEngine()
 	const nodes = 2
-	fabric := simnet.NewFabric(eng, simnet.DefaultConfig(), nodes)
+	fabric := simnet.NewFabric(simnet.DefaultConfig(), nodes)
 
 	fws := []*censusFirmware{newCensus(), newCensus()}
 	nics := make([]*nic.NIC, nodes)

@@ -2,7 +2,7 @@
 // the POLICE telecommunications model with and without the NIC's early
 // message cancellation.
 //
-//	go run ./examples/policecancel [-stations 250]
+//	go run ./examples/policecancel [-stations 250] [-shards 4]
 //
 // Expected shape, per the paper: a large fraction of the messages cancelled
 // during rollbacks are discarded in the NIC send queue before ever crossing
@@ -17,10 +17,12 @@ import (
 	"log"
 
 	"nicwarp"
+	"nicwarp/internal/cliopt"
 )
 
 func main() {
 	stations := flag.Int("stations", 250, "police station count")
+	shards := cliopt.Shards(flag.CommandLine)
 	flag.Parse()
 
 	var results [2]*nicwarp.Result
@@ -32,7 +34,7 @@ func main() {
 			GVT:         nicwarp.GVTHostMattern,
 			GVTPeriod:   1000,
 			EarlyCancel: cancel,
-		})
+		}, nicwarp.WithShards(*shards))
 		if err != nil {
 			log.Fatal(err)
 		}

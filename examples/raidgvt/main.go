@@ -3,7 +3,7 @@
 // and comparing the host-resident Mattern implementation (WARPED) with the
 // NIC-resident one.
 //
-//	go run ./examples/raidgvt [-requests 5000]
+//	go run ./examples/raidgvt [-requests 5000] [-shards 4]
 //
 // Expected shape, per the paper: at aggressive periods (GVT after every
 // event) the host implementation drowns in control messages while NIC-GVT
@@ -18,10 +18,12 @@ import (
 	"log"
 
 	"nicwarp"
+	"nicwarp/internal/cliopt"
 )
 
 func main() {
 	requests := flag.Int("requests", 5000, "total RAID disk requests")
+	shards := cliopt.Shards(flag.CommandLine)
 	flag.Parse()
 
 	fmt.Printf("%-10s %-14s %-14s %-10s %-10s\n",
@@ -36,7 +38,7 @@ func main() {
 				Seed:      1,
 				GVT:       mode,
 				GVTPeriod: period,
-			})
+			}, nicwarp.WithShards(*shards))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -21,6 +21,11 @@ type FigureOpts struct {
 	Seed uint64
 	// Scale multiplies workload sizes (requests, incidents); 0 means 1.
 	Scale float64
+	// Shards is the per-point shard count; 0 or 1 means serial. It is pure
+	// execution strategy: tables and digests are identical at any value,
+	// which is why it rides on the runner (runner.Runner.Exec) rather than
+	// in the job configs, and never reaches the cache key.
+	Shards int
 }
 
 func (o FigureOpts) withDefaults() FigureOpts {
@@ -204,9 +209,11 @@ func foldCancelRows(xs []int, results []runner.Result) ([]CancelRow, error) {
 }
 
 // defaultRunner is the pool behind the convenience FigureN/AblationX
-// wrappers: all cores, no cache. cmd/experiments builds its own runner so
-// it can thread -j/-cache/progress through.
-func defaultRunner() *runner.Runner { return &runner.Runner{} }
+// wrappers: all cores, no cache, sharded per opts. cmd/experiments builds
+// its own runner so it can thread -j/-cache/-shards/progress through.
+func defaultRunner(opts FigureOpts) *runner.Runner {
+	return &runner.Runner{Exec: Exec{Shards: opts.Shards}}
+}
 
 // figureResults resolves a registry experiment and executes its batch on
 // the default parallel runner.
@@ -215,7 +222,7 @@ func figureResults(name string, opts FigureOpts) ([]runner.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return defaultRunner().Run(exp.Jobs(opts)), nil
+	return defaultRunner(opts).Run(exp.Jobs(opts)), nil
 }
 
 // Figure4 reproduces "RAID Performance with NIC GVT": execution time vs GVT
@@ -576,7 +583,7 @@ func ablationDefs() []ablationDef {
 func ablationRows(name string, opts FigureOpts) ([]AblationRow, error) {
 	for _, a := range ablationDefs() {
 		if a.name == name {
-			return a.fold(opts, defaultRunner().Run(a.jobs(opts)))
+			return a.fold(opts, defaultRunner(opts).Run(a.jobs(opts)))
 		}
 	}
 	return nil, fmt.Errorf("unknown ablation %q", name)

@@ -214,6 +214,7 @@ const idleGVTBackoff = 500 * vtime.Microsecond
 type node struct {
 	id      int
 	cluster *Cluster
+	eng     *des.Engine // the shard engine this node lives on (lane = id)
 
 	cpu    *hostmodel.CPU
 	bus    *iobus.Bus
@@ -247,6 +248,19 @@ type node struct {
 	// scratchEv is the reused decode target for inbound event packets; the
 	// kernel copies at the Deliver boundary.
 	scratchEv timewarp.Event
+
+	// pktFree recycles event/anti packets. The pool is per node so shards
+	// never contend: a packet is acquired by its source node's engine in
+	// transmitEvent (which fully overwrites every field) and released into
+	// the *destination* node's pool once that host has decoded it — packets
+	// migrate between pools, but each pool is only ever touched by its own
+	// node's engine.
+	pktFree []*proto.Packet //nicwarp:owns the packet free list is the release destination itself
+
+	// finalGVT is the highest GVT this node has committed. Per node (not on
+	// the cluster) because commits fire on shard engines concurrently; the
+	// cluster-wide value is the max, folded after the run quiesces.
+	finalGVT vtime.VTime
 
 	// Per-node message accounting.
 	eventsBuilt     stats.Counter // event-like packets built by the host
@@ -286,13 +300,21 @@ func (v view) RingDoorbell() {
 	})
 }
 func (v view) Schedule(d vtime.ModelTime, fn func(interface{}), arg interface{}) des.TimerRef {
-	return v.n.cluster.eng.ScheduleArgRef(d, fn, arg)
+	return v.n.eng.ScheduleArgRef(d, fn, arg)
 }
 
 // Cluster is an assembled experiment.
 type Cluster struct {
 	cfg    Config
-	eng    *des.Engine
+	exec   Exec
+	shards int
+
+	// engines holds one event engine per shard; node i lives on engine
+	// i mod shards, lane i. group couples them under the bounded-window
+	// protocol and is nil for a serial (one-shard) run.
+	engines []*des.Engine
+	group   *des.Group
+
 	fabric *simnet.Fabric
 	nodes  []*node
 	home   map[timewarp.ObjectID]int
@@ -304,40 +326,43 @@ type Cluster struct {
 	plane   *fault.Plane       // fault-injection plane, when cfg.Fault is set
 	checker *invariant.Checker // protocol oracles, when cfg.CheckInvariants
 
-	// pktFree recycles event/anti packets: acquired in transmitEvent (which
-	// fully overwrites every field) and released when the destination host
-	// has decoded them. Control packets and broadcast clones are allocated
-	// fresh and simply feed the pool once they pass through hostReceive's
-	// event path — never, in practice, since only event kinds are released.
-	pktFree []*proto.Packet //nicwarp:owns the packet free list is the release destination itself
-
-	finalGVT vtime.VTime
-	samples  []Sample
+	samples []Sample
 }
 
-// allocPacket takes a packet from the free list, or allocates one. The
-// caller must overwrite every field.
-func (cl *Cluster) allocPacket() *proto.Packet {
-	if n := len(cl.pktFree); n > 0 {
-		p := cl.pktFree[n-1]
-		cl.pktFree[n-1] = nil
-		cl.pktFree = cl.pktFree[:n-1]
+// allocPacket takes a packet from the node's free list, or allocates one.
+// The caller must overwrite every field. Control packets and broadcast
+// clones are allocated fresh and simply feed the pool once they pass
+// through hostReceive's event path — never, in practice, since only event
+// kinds are released.
+func (n *node) allocPacket() *proto.Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
 		return p
 	}
 	return &proto.Packet{}
 }
 
-// releasePacket returns a packet to the free list. The caller guarantees no
-// layer still references it: event/anti packets are released only after the
-// destination host decoded them into a kernel event, and every intermediate
-// layer (BIP, MPICH, GVT managers, NIC firmware) reads inbound packets
-// without retaining them.
-func (cl *Cluster) releasePacket(p *proto.Packet) {
-	cl.pktFree = append(cl.pktFree, p)
+// releasePacket returns a packet to this node's free list. The caller
+// guarantees no layer still references it: event/anti packets are released
+// only after the destination host decoded them into a kernel event, and
+// every intermediate layer (BIP, MPICH, GVT managers, NIC firmware) reads
+// inbound packets without retaining them.
+func (n *node) releasePacket(p *proto.Packet) {
+	n.pktFree = append(n.pktFree, p)
 }
 
-// NewCluster assembles (but does not run) an experiment.
+// NewCluster assembles (but does not run) a serial experiment. Use
+// NewClusterExec to shard the run across engines.
 func NewCluster(cfg Config) (*Cluster, error) {
+	return NewClusterExec(cfg, Exec{})
+}
+
+// NewClusterExec assembles (but does not run) an experiment under the given
+// execution strategy. The strategy never changes what the run computes:
+// committed results and digests are byte-identical at every shard count.
+func NewClusterExec(cfg Config, ex Exec) (*Cluster, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -346,27 +371,39 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.Costs.EventGrain = g.EventGrain()
 	}
 	cl := &Cluster{
-		cfg:      cfg,
-		eng:      des.NewEngine(),
-		home:     make(map[timewarp.ObjectID]int),
-		finalGVT: -1,
+		cfg:    cfg,
+		exec:   ex,
+		shards: ex.shards(cfg),
+		home:   make(map[timewarp.ObjectID]int),
 	}
-	cl.fabric = simnet.NewFabric(cl.eng, cfg.Net, cfg.Nodes)
+	cl.engines = make([]*des.Engine, cl.shards)
+	for i := range cl.engines {
+		cl.engines[i] = des.NewEngine()
+	}
+	if cl.shards > 1 {
+		cl.group = des.NewGroup(cl.engines, Lookahead(cfg))
+	}
+	cl.fabric = simnet.NewFabric(cfg.Net, cfg.Nodes)
 	cl.gvtFW = make([]*firmware.GVTFirmware, cfg.Nodes)
 	cl.cancelFW = make([]*firmware.CancelFirmware, cfg.Nodes)
 
 	if cfg.Fault.Enabled() {
-		cl.plane = fault.NewPlane(cl.eng, cfg.Fault, cfg.Nodes)
+		cl.plane = fault.NewPlane(cfg.Fault, cfg.Nodes)
 		cl.fabric.SetTap(cl.plane)
 	}
 	if cfg.CheckInvariants || cfg.Fault.Enabled() {
 		cl.checker = invariant.NewChecker(cfg.Nodes)
+		if cl.shards > 1 {
+			cl.checker.SetSharded(true)
+		}
 	}
 
 	for i := 0; i < cfg.Nodes; i++ {
-		n := &node{id: i, cluster: cl}
-		n.cpu = hostmodel.NewCPU(cl.eng, i, cfg.Costs)
-		n.bus = iobus.NewBus(cl.eng, i, cfg.Bus)
+		n := &node{id: i, cluster: cl, finalGVT: -1}
+		n.eng = cl.engines[i%cl.shards]
+		n.eng.SetLane(uint32(i))
+		n.cpu = hostmodel.NewCPU(n.eng, i, cfg.Costs)
+		n.bus = iobus.NewBus(n.eng, i, cfg.Bus)
 
 		var parts []nic.Firmware
 		if cfg.EarlyCancel {
@@ -388,7 +425,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		default:
 			fw = firmware.NewChain(parts...)
 		}
-		n.nicDev = nic.New(cl.eng, i, cfg.NIC, cl.fabric, fw)
+		n.nicDev = nic.New(n.eng, i, cfg.NIC, cl.fabric, fw)
 		if cfg.DropBufferCap > 0 {
 			n.nicDev.Shared().Dropped = nic.NewDropBuffer(cfg.DropBufferCap)
 		}
@@ -467,20 +504,46 @@ func sortObjIDs(ids []timewarp.ObjectID) {
 	}
 }
 
-// Engine exposes the hardware engine (examples and tests inspect the clock).
-func (cl *Cluster) Engine() *des.Engine { return cl.eng }
+// Engine exposes the first shard's engine (examples and tests inspect the
+// clock of serial runs; sharded callers should prefer Now).
+func (cl *Cluster) Engine() *des.Engine { return cl.engines[0] }
+
+// Shards returns the effective shard count the cluster was assembled with.
+func (cl *Cluster) Shards() int { return cl.shards }
+
+// Now returns the cluster clock: the furthest shard's model time.
+func (cl *Cluster) Now() vtime.ModelTime {
+	if cl.group != nil {
+		return cl.group.Now()
+	}
+	return cl.engines[0].Now()
+}
+
+// pendingEvents counts unprocessed events across all shards.
+func (cl *Cluster) pendingEvents() int {
+	if cl.group != nil {
+		return cl.group.Pending()
+	}
+	return cl.engines[0].Pending()
+}
 
 // Run executes the experiment to quiescence and returns the results.
 func (cl *Cluster) Run() (*Result, error) {
-	// Boot: managers start, kernels bootstrap, initial sends dispatch.
+	// Boot: managers start, kernels bootstrap, initial sends dispatch. Each
+	// node's boot work runs under its own lane so the per-lane sequence
+	// draws — and therefore every tie-break — are identical at any shard
+	// count.
 	for _, n := range cl.nodes {
+		n.eng.SetLane(uint32(n.id))
 		n.mgr.Start(view{n})
 	}
 	for _, n := range cl.nodes {
+		n.eng.SetLane(uint32(n.id))
 		res := n.kernel.Bootstrap()
 		n.finishStep(res, hostmodel.CatEvent)
 	}
 	for _, n := range cl.nodes {
+		n.eng.SetLane(uint32(n.id))
 		n.pump()
 	}
 	if cl.cfg.SampleEvery > 0 {
@@ -488,16 +551,22 @@ func (cl *Cluster) Run() (*Result, error) {
 	}
 	if cl.plane != nil {
 		rings := make([]fault.RingCtrl, len(cl.nodes))
+		engs := make([]*des.Engine, len(cl.nodes))
 		for i, n := range cl.nodes {
 			rings[i] = n.nicDev
+			engs[i] = n.eng
 		}
-		cl.plane.InstallRings(rings, cl.anyBusy)
+		cl.plane.InstallRings(rings, engs, cl.nodeBusy)
 		cl.plane.Start()
 	}
-	cl.eng.Run(cl.cfg.MaxModelTime)
-	if cl.eng.Pending() > 0 {
+	if cl.group != nil {
+		cl.group.Run(cl.cfg.MaxModelTime)
+	} else {
+		cl.engines[0].Run(cl.cfg.MaxModelTime)
+	}
+	if pending := cl.pendingEvents(); pending > 0 {
 		return nil, fmt.Errorf("core: run exceeded MaxModelTime=%v (pending=%d)",
-			cl.cfg.MaxModelTime, cl.eng.Pending())
+			cl.cfg.MaxModelTime, pending)
 	}
 	for _, n := range cl.nodes {
 		if n.kernel.HasWork() {
@@ -520,17 +589,15 @@ func (cl *Cluster) Run() (*Result, error) {
 	return res, nil
 }
 
-// anyBusy reports whether any node still has real model work: the fault
+// nodeBusy reports whether one node still has real model work: the fault
 // plane's episode timers re-arm on this probe. It deliberately excludes
 // eng.Pending() — counting the plane's own timers would keep the episode
-// chains alive forever and run the model to the horizon.
-func (cl *Cluster) anyBusy() bool {
-	for _, n := range cl.nodes {
-		if n.kernel.HasWork() || !n.cpu.Idle() || !n.nicDev.Idle() || n.flow.WaitingCount() > 0 {
-			return true
-		}
-	}
-	return false
+// chains alive forever and run the model to the horizon. The probe is per
+// node (not cluster-wide) because it fires on the node's shard engine and
+// must not read state owned by other shards.
+func (cl *Cluster) nodeBusy(node int) bool {
+	n := cl.nodes[node]
+	return n.kernel.HasWork() || !n.cpu.Idle() || !n.nicDev.Idle() || n.flow.WaitingCount() > 0
 }
 
 // invariantFloor computes the host-visible part of the true GVT bound:
@@ -760,7 +827,7 @@ func (n *node) transmitEvent(ev *timewarp.Event) {
 		kind = proto.KindAnti
 		n.antisBuilt.Inc()
 	}
-	pkt := n.cluster.allocPacket()
+	pkt := n.allocPacket()
 	*pkt = proto.Packet{
 		Kind:           kind,
 		SrcNode:        int32(n.id),
@@ -946,7 +1013,7 @@ func (n *node) hostReceive(pkt *proto.Packet) {
 			ck.OnDuplicate(n.id, pkt)
 		}
 		if pkt.IsEventLike() {
-			n.cluster.releasePacket(pkt)
+			n.releasePacket(pkt)
 		}
 		return
 	}
@@ -978,7 +1045,7 @@ func (n *node) hostReceive(pkt *proto.Packet) {
 		// The packet is fully decoded and no layer retained it; only
 		// event kinds are released — control packets can be captured by
 		// deferred GVT work.
-		n.cluster.releasePacket(pkt)
+		n.releasePacket(pkt)
 		n.finishStep(res, hostmodel.CatComm)
 	case proto.KindGVTControl:
 		c := n.cpu.Costs
@@ -1016,10 +1083,17 @@ func (n *node) commitGVT(g vtime.VTime) {
 		if skew := cl.cfg.Fault.Spec.SkewGVT; skew > 0 && !g.IsInf() {
 			reported = vtime.AddSat(g, skew)
 		}
-		ck.OnCommitGVT(n.id, reported, cl.invariantFloor())
+		// The floor reads every node's kernel, which only a serial run can
+		// do mid-flight; a sharded checker skips the instantaneous safety
+		// comparison anyway (see Checker.SetSharded).
+		floor := vtime.Infinity
+		if cl.group == nil {
+			floor = cl.invariantFloor()
+		}
+		ck.OnCommitGVT(n.id, reported, floor)
 	}
-	if g > cl.finalGVT || cl.finalGVT == -1 {
-		cl.finalGVT = g
+	if g > n.finalGVT || n.finalGVT == -1 {
+		n.finalGVT = g
 	}
 	before := n.kernel.Stats.FossilEvents.Value()
 	res := n.kernel.FossilCollect(g)
@@ -1033,7 +1107,7 @@ func (n *node) commitGVT(g vtime.VTime) {
 	// commit, let the manager decide whether another computation is needed
 	// (it stops at GVT = Infinity).
 	if !n.kernel.HasWork() && !g.IsInf() {
-		cl.eng.ScheduleArg(idleGVTBackoff, idleGVTKick, n)
+		n.eng.ScheduleArg(idleGVTBackoff, idleGVTKick, n)
 	}
 }
 
@@ -1051,9 +1125,22 @@ func idleGVTKick(x interface{}) {
 func (cl *Cluster) noteProcessed() {}
 
 // scheduleSample arms the next time-series sample (closure-free; the
-// cluster is the threaded receiver).
+// cluster is the threaded receiver). Sampling reads cross-node state at one
+// instant, so Exec.shards forces SampleEvery runs onto a single engine.
 func (cl *Cluster) scheduleSample() {
-	cl.eng.ScheduleArg(cl.cfg.SampleEvery, takeSample, cl)
+	cl.engines[0].ScheduleArg(cl.cfg.SampleEvery, takeSample, cl)
+}
+
+// committedGVT folds the per-node commit high-water marks into the
+// cluster-wide value.
+func (cl *Cluster) committedGVT() vtime.VTime {
+	g := vtime.VTime(-1)
+	for _, n := range cl.nodes {
+		if n.finalGVT > g {
+			g = n.finalGVT
+		}
+	}
+	return g
 }
 
 // takeSample records one time-series sample and re-arms while the cluster
@@ -1061,8 +1148,8 @@ func (cl *Cluster) scheduleSample() {
 func takeSample(x interface{}) {
 	cl := x.(*Cluster)
 	var s Sample
-	s.T = cl.eng.Now()
-	s.GVT = cl.finalGVT
+	s.T = cl.engines[0].Now()
+	s.GVT = cl.committedGVT()
 	busy := false
 	for _, n := range cl.nodes {
 		s.Processed += n.kernel.Stats.Processed.Value()
@@ -1076,7 +1163,7 @@ func takeSample(x interface{}) {
 	}
 	s.HostUtil /= float64(len(cl.nodes))
 	cl.samples = append(cl.samples, s)
-	if busy || cl.eng.Pending() > 0 {
+	if busy || cl.engines[0].Pending() > 0 {
 		cl.scheduleSample()
 	}
 }

@@ -128,10 +128,14 @@ func (r *Result) String() string {
 
 // collect gathers the result from a quiesced cluster.
 func (cl *Cluster) collect() *Result {
+	// Utilizations are measured against the cluster-wide final clock: a
+	// shard member's own clock stops at its last local event, so dividing
+	// by it would overstate the busy fraction of lightly loaded shards.
+	end := cl.Now()
 	r := &Result{
-		ExecTime: cl.eng.Now(),
+		ExecTime: end,
 		Digest:   cl.Digest(),
-		FinalGVT: cl.finalGVT,
+		FinalGVT: cl.committedGVT(),
 		Samples:  cl.samples,
 	}
 	for i, n := range cl.nodes {
@@ -169,9 +173,9 @@ func (cl *Cluster) collect() *Result {
 			r.GVTTokensOnNIC += fw.TokensForwarded.Value() + fw.TokensStarted.Value()
 		}
 
-		r.HostUtil += n.cpu.Utilization()
-		r.BusUtil += n.bus.Utilization()
-		r.NICUtil += n.nicDev.ProcUtilization()
+		r.HostUtil += n.cpu.UtilizationAt(end)
+		r.BusUtil += n.bus.UtilizationAt(end)
+		r.NICUtil += n.nicDev.ProcUtilizationAt(end)
 		r.HostEventTime += n.cpu.EventWork.Total()
 		r.HostCommTime += n.cpu.CommWork.Total()
 		r.HostGVTTime += n.cpu.GVTWork.Total()

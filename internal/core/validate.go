@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -55,4 +56,20 @@ func ParseGVTMode(s string) (GVTMode, error) {
 		Value:  s,
 		Reason: "unknown GVT mode (want " + strings.Join(GVTModeNames(), ", ") + ")",
 	}
+}
+
+// ParseShards resolves a CLI shard-count spelling to an Exec shard count.
+// Malformed or non-positive values return a *FieldError, the same contract
+// ParseGVTMode has; clamping a legal count to the cluster size stays the
+// silent job of Exec, because the cluster size is not known at flag time.
+func ParseShards(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 1 {
+		return 0, &FieldError{
+			Field:  "Shards",
+			Value:  s,
+			Reason: "want a positive integer shard count",
+		}
+	}
+	return n, nil
 }

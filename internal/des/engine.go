@@ -1,20 +1,29 @@
 // Package des is the hardware-level discrete-event engine: the substitute
 // for the paper's physical cluster. Every modeled component — host CPUs,
 // PCI buses, NIC processors, links, the switch — advances by scheduling
-// callbacks on a single deterministic Engine.
+// callbacks on a deterministic Engine.
 //
-// The engine is intentionally sequential. The paper's claims are about
+// An engine is intentionally sequential. The paper's claims are about
 // *where* work happens (host vs NIC) and *how much* hardware time it costs,
 // not about exploiting host parallelism in the reproduction; a sequential
 // deterministic engine makes every experiment exactly reproducible and lets
 // the test suite assert bit-identical metrics across runs.
 //
-// Sequential execution also means the engine needs no synchronization for
-// memory reuse: events live in a per-engine arena slice and fired or
-// cancelled slots are recycled through an index free list, so steady-state
-// scheduling allocates nothing and handles carry 32-bit slot numbers
-// instead of pointers. Callers on hot paths use ScheduleArg/AtArg, which
-// thread a value receiver through the event instead of capturing a closure.
+// A single run can nevertheless be sharded across cores: a Group ties
+// several engines together under a bounded-lag window protocol, each engine
+// owning a disjoint set of lanes (one lane per modeled node). Determinism
+// survives sharding because every event carries a lane-keyed order key
+// (lane, per-lane sequence) instead of a global scheduling counter: a
+// lane's event stream is a function of that lane's inputs only, so the
+// heap order — and therefore every observable result — is byte-identical
+// whether the lanes share one engine or split across many.
+//
+// Sequential execution per engine also means no synchronization for memory
+// reuse: events live in a per-engine arena slice and fired or cancelled
+// slots are recycled through an index free list, so steady-state scheduling
+// allocates nothing and handles carry 32-bit slot numbers instead of
+// pointers. Callers on hot paths use ScheduleArg/AtArg, which thread a
+// value receiver through the event instead of capturing a closure.
 package des
 
 import (
@@ -23,17 +32,29 @@ import (
 	"nicwarp/internal/vtime"
 )
 
+// laneSeqBits is the width of the per-lane sequence field in an order key;
+// the lane id occupies the bits above it.
+const laneSeqBits = 48
+
+// maxLanes bounds the lane id so it fits above the sequence bits.
+const maxLanes = 1 << (64 - laneSeqBits)
+
 // event is one scheduled callback, stored in the engine's arena and
 // addressed by slot index everywhere (heap, Timer handles, free list) —
-// never by pointer, which may dangle across arena growth. seq doubles as a
-// generation counter so a stale Timer handle can never cancel the slot's
-// next incarnation.
+// never by pointer, which may dangle across arena growth. seq is the
+// lane-keyed order key (lane << laneSeqBits | per-lane sequence): it breaks
+// ties among equal times deterministically regardless of sharding, and is
+// unique per incarnation, so it doubles as the generation counter that keeps
+// a stale Timer handle from cancelling the slot's next incarnation.
 type event struct {
 	at    vtime.ModelTime
-	seq   uint64 // FIFO tie-break among equal times; unique per incarnation
+	seq   uint64 // lane-keyed order key; unique per incarnation
+	lane  uint32 // execution lane, restored to curLane when the event fires
 	fn    func()
-	fnArg func(interface{}) // closure-free variant; fn and fnArg are exclusive
+	fnArg func(interface{})              // closure-free variant
+	fn2   func(interface{}, interface{}) // two-receiver variant (cross-shard handoff)
 	arg   interface{}
+	argB  interface{}
 }
 
 // Timer is a handle to a scheduled callback that can be cancelled before it
@@ -96,22 +117,41 @@ func (r TimerRef) Cancel() bool {
 	return true
 }
 
+// stagedEv is one cross-shard event parked in the source engine's outbox
+// until the window barrier merges it into the destination heap.
+type stagedEv struct {
+	at   vtime.ModelTime
+	ord  uint64
+	lane uint32
+	fn2  func(interface{}, interface{})
+	a, b interface{}
+}
+
 // Engine is the deterministic event-driven core. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
 	now       vtime.ModelTime
 	heap      timerHeap
-	seq       uint64
+	laneSeq   []uint64 // next per-lane sequence, indexed by lane
+	curLane   uint32   // lane of the currently executing event
 	running   bool
 	processed uint64
 	arena     []event  // every event ever scheduled, addressed by slot index
 	pos       []int32  // heap index of each arena slot, -1 when popped/cancelled
 	free      []uint32 // recycled arena slots, reused LIFO
+
+	// Shard-group wiring (nil/zero outside a Group). staged is indexed by
+	// destination shard; each engine appends to its own outbox only, so
+	// staging needs no synchronization.
+	group     *Group
+	shard     int
+	windowEnd vtime.ModelTime // horizon of the current window; floor for staged events
+	staged    [][]stagedEv
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{laneSeq: make([]uint64, 1)}
 }
 
 // Now returns the current model time.
@@ -124,11 +164,44 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of scheduled, uncancelled callbacks.
 func (e *Engine) Pending() int { return e.heap.len() }
 
+// SetLane switches the engine's current execution lane. A lane is one
+// deterministic sub-stream of events — one modeled node — whose order keys
+// are drawn from its own counter; callbacks scheduled while a lane is
+// current inherit it. Engines used standalone never call this and stay on
+// lane 0, which reproduces the legacy global-FIFO tie-break exactly.
+func (e *Engine) SetLane(l uint32) {
+	e.ensureLane(l)
+	e.curLane = l
+}
+
+// ensureLane grows the per-lane sequence table to cover l.
+func (e *Engine) ensureLane(l uint32) {
+	if l >= maxLanes {
+		panic(fmt.Sprintf("des: lane %d exceeds the %d-lane limit", l, maxLanes))
+	}
+	for uint32(len(e.laneSeq)) <= l {
+		e.laneSeq = append(e.laneSeq, 0)
+	}
+}
+
+// nextOrd draws the next order key from the current lane's counter. Keys
+// are unique for the lifetime of the run (the per-lane counter never
+// resets), which is what lets seq double as the Timer generation check.
+func (e *Engine) nextOrd() uint64 {
+	l := e.curLane
+	s := e.laneSeq[l] + 1
+	if s >= 1<<laneSeqBits {
+		panic(fmt.Sprintf("des: lane %d sequence overflow", l))
+	}
+	e.laneSeq[l] = s
+	return uint64(l)<<laneSeqBits | s
+}
+
 // alloc takes an arena slot from the free list, or grows the arena, and
-// stamps it with a fresh (at, seq). The returned index stays valid across
+// stamps it with (at, ord, lane). The returned index stays valid across
 // arena growth; a *event into the arena would not, so pointers to slots
 // never outlive the expression that takes them.
-func (e *Engine) alloc(t vtime.ModelTime) uint32 {
+func (e *Engine) alloc(t vtime.ModelTime, ord uint64, lane uint32) uint32 {
 	var ei uint32
 	if n := len(e.free); n > 0 {
 		ei = e.free[n-1]
@@ -138,27 +211,29 @@ func (e *Engine) alloc(t vtime.ModelTime) uint32 {
 		e.pos = append(e.pos, -1)
 		ei = uint32(len(e.arena) - 1)
 	}
-	e.seq++
 	ev := &e.arena[ei]
 	ev.at = t
-	ev.seq = e.seq
+	ev.seq = ord
+	ev.lane = lane
 	return ei
 }
 
 // recycle clears a slot's callback state and returns it to the free list.
-// Clearing fn/fnArg/arg here is what guarantees a fired or cancelled event
-// never pins a captured closure or threaded receiver.
+// Clearing the callbacks and receivers here is what guarantees a fired or
+// cancelled event never pins a captured closure or threaded receiver.
 func (e *Engine) recycle(ei uint32) {
 	ev := &e.arena[ei]
 	ev.fn = nil
 	ev.fnArg = nil
+	ev.fn2 = nil
 	ev.arg = nil
+	ev.argB = nil
 	e.free = append(e.free, ei)
 }
 
 // Schedule runs fn after delay d (which may be zero but not negative) and
 // returns a cancelable handle. Callbacks at the same instant run in
-// scheduling order.
+// lane-keyed scheduling order.
 func (e *Engine) Schedule(d vtime.ModelTime, fn func()) *Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("des: Schedule with negative delay %v", d))
@@ -219,13 +294,73 @@ func (e *Engine) AtArgRef(t vtime.ModelTime, fn func(interface{}), arg interface
 	return TimerRef{eng: e, ei: ei, seq: ev.seq}
 }
 
-// at validates t and pushes a fresh event slot for it.
+// ScheduleArg2 runs fn(a, b) after delay d on the current lane: the
+// two-receiver closure-free variant for pipelines that thread a component
+// and a payload without a wrapper struct.
+func (e *Engine) ScheduleArg2(d vtime.ModelTime, fn func(interface{}, interface{}), a, b interface{}) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: ScheduleArg2 with negative delay %v", d))
+	}
+	if fn == nil {
+		panic("des: nil callback")
+	}
+	ev := &e.arena[e.at(e.now+d)]
+	ev.fn2 = fn
+	ev.arg = a
+	ev.argB = b
+}
+
+// AtCross schedules fn(a, b) at absolute model time t on engine dst,
+// executing on the given lane (the destination node's lane). The order key
+// is drawn from the *source* engine's current lane, so the destination's
+// heap order is a pure function of (t, source lane, source sequence) — the
+// deterministic merge rule that keeps sharded execution byte-identical to
+// serial.
+//
+// When dst is the scheduling engine itself (serial execution, or a
+// same-shard neighbour) the event is inserted directly. Otherwise both
+// engines must belong to the same Group and t must not undercut the current
+// window horizon: the event is staged in the source's outbox and merged
+// into dst's heap at the next window barrier.
+func (e *Engine) AtCross(dst *Engine, lane uint32, t vtime.ModelTime, fn func(interface{}, interface{}), a, b interface{}) {
+	if fn == nil {
+		panic("des: nil callback")
+	}
+	ord := e.nextOrd()
+	if dst == e {
+		if t < e.now {
+			panic(fmt.Sprintf("des: AtCross(%v) is before now (%v)", t, e.now))
+		}
+		e.ensureLane(lane)
+		ei := e.insert(t, ord, lane)
+		ev := &e.arena[ei]
+		ev.fn2 = fn
+		ev.arg = a
+		ev.argB = b
+		return
+	}
+	if e.group == nil || e.group != dst.group {
+		panic("des: AtCross between engines that do not share a Group")
+	}
+	if t < e.windowEnd {
+		panic(fmt.Sprintf("des: cross-shard event at %v undercuts the window horizon %v (lookahead violation)",
+			t, e.windowEnd))
+	}
+	e.staged[dst.shard] = append(e.staged[dst.shard], stagedEv{at: t, ord: ord, lane: lane, fn2: fn, a: a, b: b})
+}
+
+// at validates t and pushes a fresh event slot for it on the current lane.
 func (e *Engine) at(t vtime.ModelTime) uint32 {
 	if t < e.now {
 		panic(fmt.Sprintf("des: At(%v) is before now (%v)", t, e.now))
 	}
-	ei := e.alloc(t)
-	e.heap.push(e.pos, t, e.arena[ei].seq, ei)
+	return e.insert(t, e.nextOrd(), e.curLane)
+}
+
+// insert allocates a slot for (t, ord, lane) and pushes it on the heap.
+func (e *Engine) insert(t vtime.ModelTime, ord uint64, lane uint32) uint32 {
+	ei := e.alloc(t, ord, lane)
+	e.heap.push(e.pos, t, ord, ei)
 	return ei
 }
 
@@ -251,6 +386,24 @@ func (e *Engine) Run(limit vtime.ModelTime) vtime.ModelTime {
 	return e.now
 }
 
+// runWindow executes callbacks strictly below horizon h. It is the
+// per-round body of the Group protocol: cross-shard events produced while
+// it runs are staged (never delivered), so engines in the same window never
+// touch each other's state.
+func (e *Engine) runWindow(h vtime.ModelTime) {
+	e.windowEnd = h
+	for e.heap.len() > 0 {
+		at := e.heap.minAt()
+		if at >= h {
+			break
+		}
+		ei := e.heap.pop(e.pos)
+		e.now = at
+		e.processed++
+		e.fire(ei)
+	}
+}
+
 // Step executes exactly one callback if any is pending and reports whether
 // one ran. Used by tests that need fine-grained control.
 func (e *Engine) Step() bool {
@@ -264,18 +417,22 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// fire recycles the popped slot and invokes its callback. Recycling first
-// lets the callback's own scheduling reuse the slot, and bumps the seq
-// generation so stale Timer handles see a mismatch. The callback state is
-// read out before the callback runs: its own scheduling may grow the arena,
-// which would invalidate any pointer into it.
+// fire recycles the popped slot and invokes its callback on its lane.
+// Recycling first lets the callback's own scheduling reuse the slot, and
+// bumps the seq generation so stale Timer handles see a mismatch. The
+// callback state is read out before the callback runs: its own scheduling
+// may grow the arena, which would invalidate any pointer into it.
 func (e *Engine) fire(ei uint32) {
 	ev := &e.arena[ei]
-	fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
+	fn, fnArg, fn2, a, b := ev.fn, ev.fnArg, ev.fn2, ev.arg, ev.argB
+	e.curLane = ev.lane
 	e.recycle(ei)
-	if fnArg != nil {
-		fnArg(arg)
-	} else {
+	switch {
+	case fn2 != nil:
+		fn2(a, b)
+	case fnArg != nil:
+		fnArg(a)
+	default:
 		fn()
 	}
 }

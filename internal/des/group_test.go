@@ -1,0 +1,182 @@
+package des
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nicwarp/internal/vtime"
+)
+
+// ringNode is a test model node: it logs every arrival and forwards a token
+// around the ring with a fixed cross-lane latency, plus two same-instant
+// local events per arrival to exercise tie-breaking.
+type ringNode struct {
+	eng  *Engine
+	lane uint32
+	next *ringNode
+	log  []string
+}
+
+const ringLatency = 100 * vtime.Nanosecond
+
+func ringArrive(a, b interface{}) {
+	n := a.(*ringNode)
+	hops := b.(int)
+	n.log = append(n.log, fmt.Sprintf("arrive@%d hops=%d", n.eng.Now(), hops))
+	// Two local events at the same instant: their relative order is fixed by
+	// the lane-keyed sequence, not by which engine hosts the lane.
+	n.eng.ScheduleArg(0, ringLocal, n)
+	n.eng.ScheduleArg(0, ringLocal, n)
+	if hops > 0 {
+		t := n.eng.Now() + ringLatency
+		n.eng.AtCross(n.next.eng, n.next.lane, t, ringArrive, n.next, hops-1)
+	}
+}
+
+func ringLocal(a interface{}) {
+	n := a.(*ringNode)
+	n.log = append(n.log, fmt.Sprintf("local@%d", n.eng.Now()))
+}
+
+// buildRing places `nodes` ring nodes across the given engines round-robin
+// and starts `tokens` tokens from distinct nodes at staggered times.
+func buildRing(engines []*Engine, nodes, tokens, hops int) []*ringNode {
+	ring := make([]*ringNode, nodes)
+	for i := range ring {
+		ring[i] = &ringNode{eng: engines[i%len(engines)], lane: uint32(i)}
+	}
+	for i := range ring {
+		ring[i].next = ring[(i+1)%nodes]
+	}
+	for t := 0; t < tokens; t++ {
+		n := ring[(t*3)%nodes]
+		n.eng.SetLane(n.lane)
+		start := vtime.ModelTime(t * 7)
+		n.eng.AtCross(n.eng, n.lane, start, ringArrive, n, hops)
+	}
+	return ring
+}
+
+func runRing(shards, nodes, tokens, hops int) [][]string {
+	engines := make([]*Engine, shards)
+	for i := range engines {
+		engines[i] = NewEngine()
+	}
+	g := NewGroup(engines, ringLatency)
+	ring := buildRing(engines, nodes, tokens, hops)
+	g.Run(vtime.ModelInfinity)
+	logs := make([][]string, nodes)
+	for i, n := range ring {
+		logs[i] = n.log
+	}
+	return logs
+}
+
+// TestGroupMatchesSerial is the core determinism property: the per-lane
+// event logs of a sharded run are byte-identical to the single-engine run,
+// for every shard count.
+func TestGroupMatchesSerial(t *testing.T) {
+	const nodes, tokens, hops = 6, 4, 40
+	want := runRing(1, nodes, tokens, hops)
+	for _, shards := range []int{2, 3, 4, 6} {
+		got := runRing(shards, nodes, tokens, hops)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: per-lane logs differ from serial\nserial: %v\nsharded: %v", shards, want, got)
+		}
+	}
+}
+
+// TestGroupProgressAndClock checks the group clock and processed counters
+// line up with the serial run.
+func TestGroupProgressAndClock(t *testing.T) {
+	serialEng := NewEngine()
+	serialG := NewGroup([]*Engine{serialEng}, ringLatency)
+	buildRing([]*Engine{serialEng}, 4, 2, 10)
+	serialG.Run(vtime.ModelInfinity)
+
+	engines := []*Engine{NewEngine(), NewEngine()}
+	g := NewGroup(engines, ringLatency)
+	buildRing(engines, 4, 2, 10)
+	g.Run(vtime.ModelInfinity)
+
+	if g.Now() != serialEng.Now() {
+		t.Fatalf("sharded clock %v != serial clock %v", g.Now(), serialEng.Now())
+	}
+	if g.Processed() != serialEng.Processed() {
+		t.Fatalf("sharded processed %d != serial %d", g.Processed(), serialEng.Processed())
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("pending %d after drain", g.Pending())
+	}
+}
+
+// TestGroupRunLimitInclusive checks events exactly at the limit run, and
+// events past it stay pending — matching Engine.Run semantics.
+func TestGroupRunLimitInclusive(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	g := NewGroup(engines, 50)
+	var fired []string
+	engines[0].At(100, func() { fired = append(fired, "at-limit") })
+	engines[1].At(101, func() { fired = append(fired, "past-limit") })
+	g.Run(100)
+	if len(fired) != 1 || fired[0] != "at-limit" {
+		t.Fatalf("fired = %v, want [at-limit]", fired)
+	}
+	if g.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", g.Pending())
+	}
+}
+
+// TestGroupLookaheadViolationPanics: a cross-shard event scheduled below
+// the window horizon must fail loudly, not silently reorder.
+func TestGroupLookaheadViolationPanics(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	g := NewGroup(engines, 100)
+	engines[0].At(0, func() {
+		// Claimed lookahead is 100, actual latency 1: a violation.
+		engines[0].AtCross(engines[1], 0, 1, func(a, b interface{}) {}, nil, nil)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected lookahead-violation panic")
+		}
+	}()
+	g.Run(vtime.ModelInfinity)
+}
+
+// TestLaneTieBreak: same-instant events on different lanes of one engine
+// run in lane order regardless of scheduling order, and same-lane events
+// run in scheduling order.
+func TestLaneTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.SetLane(2)
+	e.At(10, func() { order = append(order, "lane2-a") })
+	e.At(10, func() { order = append(order, "lane2-b") })
+	e.SetLane(1)
+	e.At(10, func() { order = append(order, "lane1") })
+	e.Run(vtime.ModelInfinity)
+	want := []string{"lane1", "lane2-a", "lane2-b"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestAtCrossLocal: AtCross onto the scheduling engine inserts directly
+// and executes on the destination lane.
+func TestAtCrossLocal(t *testing.T) {
+	e := NewEngine()
+	var gotLane uint32
+	e.SetLane(3)
+	e.AtCross(e, 5, 7, func(a, b interface{}) {
+		gotLane = e.curLane
+		if a.(string) != "x" || b.(int) != 9 {
+			t.Errorf("receivers = (%v, %v)", a, b)
+		}
+	}, "x", 9)
+	e.Run(vtime.ModelInfinity)
+	if gotLane != 5 {
+		t.Fatalf("executed on lane %d, want 5", gotLane)
+	}
+}

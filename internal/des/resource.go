@@ -7,12 +7,15 @@ import (
 	"nicwarp/internal/vtime"
 )
 
-// doneEntry is one queued completion callback: either a plain closure or a
-// closure-free (fn, arg) pair. Both nil means fire-and-forget.
+// doneEntry is one queued completion callback: a plain closure, a
+// closure-free (fn, arg) pair, or a two-receiver (fn2, arg, argB) triple.
+// All nil means fire-and-forget.
 type doneEntry struct {
 	fn    func()
 	fnArg func(interface{})
+	fn2   func(interface{}, interface{})
 	arg   interface{}
+	argB  interface{}
 }
 
 // Resource models a single-server FIFO hardware resource: a host CPU, a NIC
@@ -77,6 +80,13 @@ func (r *Resource) SubmitArg(cost vtime.ModelTime, fn func(interface{}), arg int
 	return r.submit(cost, doneEntry{fnArg: fn, arg: arg})
 }
 
+// SubmitArg2 is SubmitArg with two threaded receivers: at completion
+// fn(a, b) runs. Used by pipelines that pair a component with a payload
+// without a wrapper allocation.
+func (r *Resource) SubmitArg2(cost vtime.ModelTime, fn func(interface{}, interface{}), a, b interface{}) vtime.ModelTime {
+	return r.submit(cost, doneEntry{fn2: fn, arg: a, argB: b})
+}
+
 func (r *Resource) submit(cost vtime.ModelTime, done doneEntry) vtime.ModelTime {
 	if cost < 0 {
 		panic(fmt.Sprintf("des: Submit with negative cost on %s", r.name))
@@ -103,6 +113,8 @@ func resourceComplete(x interface{}) {
 	r.Queue.Set(int64(r.inFlight))
 	r.Jobs.Inc()
 	switch {
+	case d.fn2 != nil:
+		d.fn2(d.arg, d.argB)
 	case d.fnArg != nil:
 		d.fnArg(d.arg)
 	case d.fn != nil:
@@ -140,4 +152,11 @@ func (r *Resource) popDone() doneEntry {
 // busy.
 func (r *Resource) Utilization() float64 {
 	return r.Busy.Utilization(r.eng.Now())
+}
+
+// UtilizationAt is Utilization against an explicit end-of-run clock. Sharded
+// runs use it with the group-wide final time, because a member engine's own
+// clock stops at its last local event.
+func (r *Resource) UtilizationAt(end vtime.ModelTime) float64 {
+	return r.Busy.Utilization(end)
 }

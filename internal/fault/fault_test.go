@@ -133,7 +133,7 @@ func TestValidateTable(t *testing.T) {
 // identical streams.
 func decisionStream(t *testing.T, plan Plan, ports int) []simnet.TapDecision {
 	t.Helper()
-	p := NewPlane(nil, plan, ports)
+	p := NewPlane(plan, ports)
 	var out []simnet.TapDecision
 	for i := 0; i < 400; i++ {
 		pkt := &proto.Packet{
@@ -179,7 +179,7 @@ func TestNICOriginatedPacketsExemptFromRandomFaults(t *testing.T) {
 	// Remove degradation: it legitimately applies to Seq-0 control traffic.
 	plan.Spec.DegradeLinks = 0
 	plan.Spec.DegradeDelay = 0
-	p := NewPlane(nil, plan, 2)
+	p := NewPlane(plan, 2)
 	for i := 0; i < 200; i++ {
 		tok := &proto.Packet{Kind: proto.KindGVTToken, SrcNode: 0, DstNode: 1, Seq: 0}
 		d := p.OnRoute(0, 1, tok)
@@ -196,7 +196,7 @@ func TestDegradedLinksDelayBothDirectionsConstantly(t *testing.T) {
 	const us = vtime.Microsecond
 	plan := Plan{Scenario: "degrade", Seed: 5,
 		Spec: Spec{DegradeLinks: 1, DegradeDelay: 20 * us}}
-	p := NewPlane(nil, plan, 4)
+	p := NewPlane(plan, 4)
 	bad := -1
 	for i, v := range p.degraded {
 		if v {
@@ -231,7 +231,7 @@ func TestDegradedLinksDelayBothDirectionsConstantly(t *testing.T) {
 			t.Fatalf("clean path got decision %+v", d)
 		}
 	}
-	if p.Degraded.Value() == 0 {
+	if p.DegradedCount() == 0 {
 		t.Fatal("degraded counter never moved")
 	}
 }

@@ -30,46 +30,60 @@ type RingCtrl interface {
 	SetTxFaultStall(v bool)
 }
 
+// wireState is the per-source-port fault state. OnRoute calls for a given
+// source port always come from that port's shard engine, so keying every
+// mutable decision input and counter by source port is what keeps the tap
+// both race-free and deterministic under sharding.
+type wireState struct {
+	rng     rng.Source
+	scratch []byte // wire image buffer for the corruption model
+
+	dropped         stats.Counter
+	duplicated      stats.Counter
+	delayed         stats.Counter
+	corruptDetected stats.Counter
+	corruptMissed   stats.Counter
+	trueLost        stats.Counter
+	degraded        stats.Counter
+}
+
+// ringState is the per-node episode driver state. Episode timers live on
+// the node's own shard engine so holding or stalling a ring never crosses
+// shard boundaries.
+type ringState struct {
+	ctrl RingCtrl
+	eng  *des.Engine
+	rng  rng.Source
+
+	rxHolds  stats.Counter
+	txStalls stats.Counter
+}
+
 // Plane is the runtime fault injector for one cluster: it implements
 // simnet.Tap for wire faults and drives NIC ring-exhaustion episodes.
 // Every decision is drawn from streams seeded by the Plan, so the same
-// Plan replays byte-identically.
+// Plan replays byte-identically — at any shard count, because each stream
+// is consumed by exactly one shard.
 type Plane struct {
-	eng      *des.Engine
 	spec     Spec
 	seed     uint64
-	wire     []rng.Source // per source port
-	degraded []bool       // ports with a constant extra delay
+	wire     []wireState // per source port
+	degraded []bool      // ports with a constant extra delay
 
-	rings   []RingCtrl
-	ringRng []rng.Source
-	busy    func() bool
-
-	scratch []byte // wire image buffer for the corruption model
-
-	// Counters, for reports and for asserting a scenario actually bit.
-	Dropped         stats.Counter // recoverable link losses
-	Duplicated      stats.Counter // duplicated packets
-	Delayed         stats.Counter // randomly delayed packets
-	CorruptDetected stats.Counter // corruptions caught by the link CRC
-	CorruptMissed   stats.Counter // corruptions the CRC failed to catch
-	TrueLost        stats.Counter // hostile, unrecoverable losses
-	Degraded        stats.Counter // packets that crossed a degraded link
-	RxHolds         stats.Counter // receive-ring slots held by episodes
-	TxStalls        stats.Counter // transmit-pump stall episodes
+	rings []ringState
+	busy  func(node int) bool
 }
 
 // NewPlane builds the fault plane for a cluster with numPorts NICs. The
 // plan must already be validated.
-func NewPlane(eng *des.Engine, plan Plan, numPorts int) *Plane {
+func NewPlane(plan Plan, numPorts int) *Plane {
 	p := &Plane{
-		eng:  eng,
 		spec: plan.Spec,
 		seed: plan.Seed,
-		wire: make([]rng.Source, numPorts),
+		wire: make([]wireState, numPorts),
 	}
 	for i := range p.wire {
-		p.wire[i] = rng.NewFor(plan.Seed, componentWire+uint64(i))
+		p.wire[i].rng = rng.NewFor(plan.Seed, componentWire+uint64(i))
 	}
 	if k := plan.Spec.DegradeLinks; k > 0 {
 		if k > numPorts {
@@ -88,7 +102,9 @@ func NewPlane(eng *des.Engine, plan Plan, numPorts int) *Plane {
 	return p
 }
 
-// OnRoute implements simnet.Tap: one fate decision per routing attempt.
+// OnRoute implements simnet.Tap: one fate decision per routing attempt,
+// drawn entirely from the source port's own stream and counted on the
+// source port's own counters (see wireState).
 //
 // NIC-originated control packets (Seq == 0: GVT tokens and broadcasts)
 // are exempt from the random faults. The NIC-GVT token protocol assumes
@@ -100,42 +116,43 @@ func NewPlane(eng *des.Engine, plan Plan, numPorts int) *Plane {
 func (p *Plane) OnRoute(srcPort, dstPort int, pkt *proto.Packet) simnet.TapDecision {
 	var d simnet.TapDecision
 	s := &p.spec
+	w := &p.wire[srcPort]
 	if p.degraded != nil && (p.degraded[srcPort] || p.degraded[dstPort]) {
 		d.ExtraDelay += s.DegradeDelay
-		p.Degraded.Inc()
+		w.degraded.Inc()
 	}
 	if pkt.Seq == 0 {
 		return d
 	}
-	r := &p.wire[srcPort]
+	r := &w.rng
 	if s.TrueLossProb > 0 && r.Float64() < s.TrueLossProb {
-		p.TrueLost.Inc()
+		w.trueLost.Inc()
 		d.Drop = true
 		d.Redeliver = 0
 		return d
 	}
 	if s.CorruptProb > 0 && r.Float64() < s.CorruptProb {
-		if p.corruptionDetected(r, pkt) {
-			p.CorruptDetected.Inc()
+		if w.corruptionDetected(pkt) {
+			w.corruptDetected.Inc()
 			d.Drop = true
 			d.Redeliver = s.RetxDelay
 			return d
 		}
-		p.CorruptMissed.Inc()
+		w.corruptMissed.Inc()
 	}
 	if s.DropProb > 0 && r.Float64() < s.DropProb {
-		p.Dropped.Inc()
+		w.dropped.Inc()
 		d.Drop = true
 		d.Redeliver = s.RetxDelay
 		return d
 	}
 	if s.DupProb > 0 && r.Float64() < s.DupProb {
-		p.Duplicated.Inc()
+		w.duplicated.Inc()
 		d.Dup = true
 		d.DupDelay = s.DupDelay
 	}
 	if s.DelayProb > 0 && r.Float64() < s.DelayProb {
-		p.Delayed.Inc()
+		w.delayed.Inc()
 		d.ExtraDelay += vtime.ModelTime(1 + r.Int63n(int64(s.DelayMax)))
 	}
 	return d
@@ -145,35 +162,44 @@ func (p *Plane) OnRoute(srcPort, dstPort int, pkt *proto.Packet) simnet.TapDecis
 // flip one seeded bit, and ask whether the checksum changed. With FNV-1a
 // a single-bit flip is always caught, but the shape keeps the model
 // honest: detection is a property of the code, not an assumption.
-func (p *Plane) corruptionDetected(r *rng.Source, pkt *proto.Packet) bool {
-	p.scratch = pkt.MarshalAppend(p.scratch[:0])
-	sum := proto.Checksum(p.scratch)
-	bit := r.Intn(len(p.scratch) * 8)
-	p.scratch[bit/8] ^= 1 << (bit % 8)
-	return proto.Checksum(p.scratch) != sum
+func (w *wireState) corruptionDetected(pkt *proto.Packet) bool {
+	w.scratch = pkt.MarshalAppend(w.scratch[:0])
+	sum := proto.Checksum(w.scratch)
+	bit := w.rng.Intn(len(w.scratch) * 8)
+	w.scratch[bit/8] ^= 1 << (bit % 8)
+	return proto.Checksum(w.scratch) != sum
 }
 
-// InstallRings hands the plane the per-node ring controls and a busy
-// probe. The probe must report real model work only (kernels, CPUs, flow
-// control) — never eng.Pending(), which would count the plane's own
-// timers and livelock the run at the horizon.
-func (p *Plane) InstallRings(rings []RingCtrl, busy func() bool) {
-	p.rings = rings
+// InstallRings hands the plane the per-node ring controls, the shard
+// engine each node lives on, and a per-node busy probe. The probe must
+// report real model work only (kernel, CPU, flow control of that node) —
+// never eng.Pending(), which would count the plane's own timers and
+// livelock the run at the horizon — and must not read state owned by
+// other shards.
+func (p *Plane) InstallRings(rings []RingCtrl, engs []*des.Engine, busy func(node int) bool) {
 	p.busy = busy
-	p.ringRng = make([]rng.Source, len(rings))
+	p.rings = make([]ringState, len(rings))
 	for i := range rings {
-		p.ringRng[i] = rng.NewFor(p.seed, componentRing+uint64(i))
+		p.rings[i] = ringState{
+			ctrl: rings[i],
+			eng:  engs[i],
+			rng:  rng.NewFor(p.seed, componentRing+uint64(i)),
+		}
 	}
 }
 
 // Start arms the first ring-exhaustion episodes. Episodes re-arm only
-// while the busy probe is true, so once the model quiesces the fault
-// timers drain and the event heap empties before the horizon.
+// while the node's busy probe is true, so once the model quiesces the
+// fault timers drain and the event heaps empty before the horizon. The
+// boot-time arms run under each node's lane (re-arms from inside an
+// episode inherit the episode event's lane) so the timer tie-break order
+// is the same at any shard count.
 func (p *Plane) Start() {
 	if p.rings == nil {
 		return
 	}
 	for i := range p.rings {
+		p.rings[i].eng.SetLane(uint32(i))
 		if p.spec.RxHoldEvery > 0 {
 			p.armRx(i)
 		}
@@ -185,45 +211,100 @@ func (p *Plane) Start() {
 
 // jitter spreads episode firings across (period/2, 3*period/2] so nodes
 // don't stall in lockstep.
-func (p *Plane) jitter(r *rng.Source, period vtime.ModelTime) vtime.ModelTime {
+func jitter(r *rng.Source, period vtime.ModelTime) vtime.ModelTime {
 	return period/2 + vtime.ModelTime(1+r.Int63n(int64(period)))
 }
 
 func (p *Plane) armRx(i int) {
-	p.eng.Schedule(p.jitter(&p.ringRng[i], p.spec.RxHoldEvery), func() { p.fireRx(i) })
+	ring := &p.rings[i]
+	ring.eng.Schedule(jitter(&ring.rng, p.spec.RxHoldEvery), func() { p.fireRx(i) })
 }
 
 func (p *Plane) fireRx(i int) {
-	if !p.busy() {
+	if !p.busy(i) {
 		return
 	}
-	if held := p.rings[i].FaultHoldRx(p.spec.RxHoldSlots); held > 0 {
-		p.RxHolds.Add(int64(held))
-		ring := p.rings[i]
-		p.eng.Schedule(p.spec.RxHoldFor, func() { ring.FaultReleaseRx(held) })
+	ring := &p.rings[i]
+	if held := ring.ctrl.FaultHoldRx(p.spec.RxHoldSlots); held > 0 {
+		ring.rxHolds.Add(int64(held))
+		ctrl := ring.ctrl
+		ring.eng.Schedule(p.spec.RxHoldFor, func() { ctrl.FaultReleaseRx(held) })
 	}
 	p.armRx(i)
 }
 
 func (p *Plane) armTx(i int) {
-	p.eng.Schedule(p.jitter(&p.ringRng[i], p.spec.TxStallEvery), func() { p.fireTx(i) })
+	ring := &p.rings[i]
+	ring.eng.Schedule(jitter(&ring.rng, p.spec.TxStallEvery), func() { p.fireTx(i) })
 }
 
 func (p *Plane) fireTx(i int) {
-	if !p.busy() {
+	if !p.busy(i) {
 		return
 	}
-	p.TxStalls.Inc()
-	ring := p.rings[i]
-	ring.SetTxFaultStall(true)
-	p.eng.Schedule(p.spec.TxStallFor, func() { ring.SetTxFaultStall(false) })
+	ring := &p.rings[i]
+	ring.txStalls.Inc()
+	ctrl := ring.ctrl
+	ctrl.SetTxFaultStall(true)
+	ring.eng.Schedule(p.spec.TxStallFor, func() { ctrl.SetTxFaultStall(false) })
 	p.armTx(i)
+}
+
+// sumWire folds one counter across the per-port wire states. Call after
+// the run quiesces (or, in tests, from a single goroutine).
+func (p *Plane) sumWire(pick func(*wireState) *stats.Counter) int64 {
+	var n int64
+	for i := range p.wire {
+		n += pick(&p.wire[i]).Value()
+	}
+	return n
+}
+
+// Per-kind totals, for reports and for asserting a scenario actually bit.
+func (p *Plane) DroppedCount() int64 {
+	return p.sumWire(func(w *wireState) *stats.Counter { return &w.dropped })
+}
+func (p *Plane) DuplicatedCount() int64 {
+	return p.sumWire(func(w *wireState) *stats.Counter { return &w.duplicated })
+}
+func (p *Plane) DelayedCount() int64 {
+	return p.sumWire(func(w *wireState) *stats.Counter { return &w.delayed })
+}
+func (p *Plane) CorruptDetectedCount() int64 {
+	return p.sumWire(func(w *wireState) *stats.Counter { return &w.corruptDetected })
+}
+func (p *Plane) CorruptMissedCount() int64 {
+	return p.sumWire(func(w *wireState) *stats.Counter { return &w.corruptMissed })
+}
+func (p *Plane) TrueLostCount() int64 {
+	return p.sumWire(func(w *wireState) *stats.Counter { return &w.trueLost })
+}
+func (p *Plane) DegradedCount() int64 {
+	return p.sumWire(func(w *wireState) *stats.Counter { return &w.degraded })
+}
+
+// RxHoldsCount totals receive-ring slots held by episodes across nodes.
+func (p *Plane) RxHoldsCount() int64 {
+	var n int64
+	for i := range p.rings {
+		n += p.rings[i].rxHolds.Value()
+	}
+	return n
+}
+
+// TxStallsCount totals transmit-pump stall episodes across nodes.
+func (p *Plane) TxStallsCount() int64 {
+	var n int64
+	for i := range p.rings {
+		n += p.rings[i].txStalls.Value()
+	}
+	return n
 }
 
 // Injected reports whether the plane actually did anything — used by the
 // stress harness to assert a scenario bit on a given workload.
 func (p *Plane) Injected() int64 {
-	return p.Dropped.Value() + p.Duplicated.Value() + p.Delayed.Value() +
-		p.CorruptDetected.Value() + p.CorruptMissed.Value() + p.TrueLost.Value() +
-		p.Degraded.Value() + p.RxHolds.Value() + p.TxStalls.Value()
+	return p.DroppedCount() + p.DuplicatedCount() + p.DelayedCount() +
+		p.CorruptDetectedCount() + p.CorruptMissedCount() + p.TrueLostCount() +
+		p.DegradedCount() + p.RxHoldsCount() + p.TxStallsCount()
 }

@@ -203,5 +203,9 @@ func (c *CPU) Idle() bool { return c.res.Idle() }
 // Utilization returns total CPU utilization.
 func (c *CPU) Utilization() float64 { return c.res.Utilization() }
 
+// UtilizationAt is Utilization against an explicit end-of-run clock, for
+// sharded runs where a member engine's clock stops at its last local event.
+func (c *CPU) UtilizationAt(end vtime.ModelTime) float64 { return c.res.UtilizationAt(end) }
+
 // Jobs returns the number of completed CPU jobs.
 func (c *CPU) Jobs() int64 { return c.res.Jobs.Value() }

@@ -99,5 +99,9 @@ func (b *Bus) Word(done func()) {
 // Utilization returns the fraction of model time the bus has been busy.
 func (b *Bus) Utilization() float64 { return b.res.Utilization() }
 
+// UtilizationAt is Utilization against an explicit end-of-run clock, for
+// sharded runs where a member engine's clock stops at its last local event.
+func (b *Bus) UtilizationAt(end vtime.ModelTime) float64 { return b.res.UtilizationAt(end) }
+
 // Idle reports whether no transfer is queued or in progress.
 func (b *Bus) Idle() bool { return b.res.Idle() }

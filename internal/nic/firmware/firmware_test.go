@@ -26,7 +26,7 @@ func newRig(t *testing.T, n int, fw func(i int) nic.Firmware) *rig {
 		toHost: make([][]*proto.Packet, n),
 		bells:  make([][]nic.NotifyTag, n),
 	}
-	fabric := simnet.NewFabric(r.eng, simnet.DefaultConfig(), n)
+	fabric := simnet.NewFabric(simnet.DefaultConfig(), n)
 	for i := 0; i < n; i++ {
 		i := i
 		dev := nic.New(r.eng, i, nic.DefaultConfig(), fabric, fw(i))

@@ -36,12 +36,21 @@ type Config struct {
 	// RxQueueCap is the receive-buffer capacity in packets (the paper's
 	// NIC has a 4 KB buffer, roughly 28 wire packets). Myrinet's link-level
 	// stop/go flow control propagates a full receive buffer back to the
-	// sender, so host-bound packets occupy a reserved slot from the moment
+	// sender, so host-bound packets occupy a buffer slot from the moment
 	// the sending NIC launches them until the destination *host* consumes
 	// them; a congested receiver therefore backs traffic up into the
 	// sender's NIC send queue — the buffering the paper's early
-	// cancellation preys on (its Figure 3a).
+	// cancellation preys on (its Figure 3a). Each sender tracks its share
+	// of the destination's RxQueueCap as a credit window (see WirePeers)
+	// and stalls head-of-line when it closes.
 	RxQueueCap int
+	// CreditReturnDelay is the link-level round-trip cost of the stop/go
+	// credit coming back from the receiver: the time between the
+	// destination host consuming a packet and the sender learning its
+	// window reopened. It bounds how stale a sender's view of the receive
+	// buffer may be, and is the NIC's share of the cross-shard lookahead
+	// contract.
+	CreditReturnDelay vtime.ModelTime
 }
 
 // DefaultConfig returns parameters for the paper's LanAI4 NIC: a 66 MHz
@@ -51,11 +60,12 @@ type Config struct {
 // responsibilities" — and a 4 KB receive buffer holding eight BIP packets.
 func DefaultConfig() Config {
 	return Config{
-		ClockHz:      66e6,
-		SendCycles:   400, // ~6us firmware transmit path
-		RecvCycles:   320, // ~4.8us firmware receive path
-		SendQueueCap: 4096,
-		RxQueueCap:   6,
+		ClockHz:           66e6,
+		SendCycles:        400, // ~6us firmware transmit path
+		RecvCycles:        320, // ~4.8us firmware receive path
+		SendQueueCap:      4096,
+		RxQueueCap:        6,
+		CreditReturnDelay: 8 * vtime.Microsecond, // stop/go credit round trip
 	}
 }
 
@@ -200,7 +210,7 @@ type NIC struct {
 	// notifyHost is wired by the cluster assembly: it models the doorbell
 	// write and the host interrupt.
 	notifyHost func(NotifyTag)
-	// peer resolves another node's NIC for backpressure accounting.
+	// peer resolves another node's NIC for credit-return addressing.
 	peer func(node int) *NIC
 
 	// sendQ/recvQ are head-indexed FIFO rings: live entries start at the
@@ -212,7 +222,7 @@ type NIC struct {
 	recvHead  int
 	txPumping bool
 	rxPumping bool
-	txStalled bool // head-of-line blocked on a full destination
+	txStalled bool // head-of-line blocked on a closed destination window
 
 	txFaultStalled bool // transmit pump frozen by the fault plane
 	faultHeld      int  // rx slots occupied by the fault plane
@@ -231,11 +241,28 @@ type NIC struct {
 	rxPkt     *proto.Packet //nicwarp:owns in-flight receive; nilled by nicRxProcessed
 	rxVerdict Verdict
 
-	releaseRxFn func() // n.releaseRx as a once-allocated func value
+	// Sender-side stop/go flow control: the window of packets this NIC may
+	// have outstanding toward each destination. A credit is taken when a
+	// host-bound packet leaves the send queue for the wire and comes back
+	// (after CreditReturnDelay) once the destination host consumes it.
+	// txFree mirrors tx.BusyUntil so the wire departure time of the packet
+	// being pumped is known analytically at pump time — the tx serializer
+	// is fed only by this NIC's FIFO transmit pump, so the mirror is exact.
+	txCredit []int
+	txFree   vtime.ModelTime
 
-	rxHeld     int    // reserved rx slots: in flight + queued + at host
-	rxWaiters  []*NIC // sender NICs stalled waiting for an rx slot here
-	rxWaitHead int    // consumed prefix of rxWaiters
+	// Receiver-side credit bookkeeping. rxSrcQ pairs host-delivery
+	// completions with the source that gets the credit back: deliveries
+	// complete in delivery order (the host bus and CPU are FIFO), so a
+	// head-indexed ring suffices. While the fault plane holds buffer slots
+	// (faultHeld), returning credits park in debtQ instead of traveling
+	// back, one per held slot.
+	rxSrcQ    []int32
+	rxSrcHead int
+	debtQ     []int32
+	debtHead  int
+
+	creditDoneFn func() // n.creditDone as a once-allocated func value
 
 	pendingCycles int64 // accumulated via API.Charge during a hook
 
@@ -265,8 +292,8 @@ func New(eng *des.Engine, node int, cfg Config, fabric *simnet.Fabric, fw Firmwa
 		fw:     fw,
 		shared: NewSharedWindow(),
 	}
-	n.releaseRxFn = n.releaseRx
-	fabric.Attach(node, n.wireReceive)
+	n.creditDoneFn = n.creditDone
+	fabric.Attach(node, eng, uint32(node), n.wireReceive)
 	return n
 }
 
@@ -280,85 +307,137 @@ func (n *NIC) Wire(deliverToHost func(pkt *proto.Packet, done func()), notifyHos
 	n.notifyHost = notifyHost
 }
 
-// WirePeers supplies the NIC-to-NIC lookup used for link-level
-// backpressure. Must be called before traffic flows.
+// WirePeers supplies the NIC-to-NIC lookup used to address returning
+// flow-control credits, and opens the per-destination windows. The
+// receiver's buffer is shared by all its potential senders, so each
+// sender's static window is sized near its fair share — twice the share,
+// clamped to [1, RxQueueCap], approximating the multiplexing a shared
+// buffer gives bursty flows while keeping the aggregate a receiver can
+// see outstanding within a small factor of RxQueueCap. Must be called
+// before traffic flows, after every peer NIC exists.
 func (n *NIC) WirePeers(peer func(node int) *NIC) {
 	if peer == nil {
 		panic("nic: WirePeers with nil lookup")
 	}
 	n.peer = peer
-}
-
-// tryReserveRx claims a receive slot, or returns false when the buffer is
-// full.
-func (n *NIC) tryReserveRx() bool {
-	if n.rxHeld >= n.cfg.RxQueueCap {
-		return false
+	senders := n.fabric.NumPorts() - 1
+	if senders < 1 {
+		senders = 1
 	}
-	n.rxHeld++
-	return true
-}
-
-// releaseRx frees a receive slot and wakes stalled senders.
-func (n *NIC) releaseRx() {
-	if n.rxHeld <= 0 {
-		panic("nic: rx slot release underflow")
-	}
-	n.rxHeld--
-	// Wake only the waiters present at release time: a woken sender's
-	// txPump may stall again and re-append past end, and those arrivals
-	// must wait for the next release. The head/tail ring reuses one
-	// buffer, so steady state allocates nothing; its capacity is bounded
-	// by the NIC count because a sender stalls on at most one peer.
-	end := len(n.rxWaiters)
-	for n.rxWaitHead < end {
-		w := n.rxWaiters[n.rxWaitHead]
-		n.rxWaiters[n.rxWaitHead] = nil
-		n.rxWaitHead++
-		w.txWake()
-	}
-	if n.rxWaitHead == len(n.rxWaiters) {
-		n.rxWaiters = n.rxWaiters[:0]
-		n.rxWaitHead = 0
+	n.txCredit = make([]int, n.fabric.NumPorts())
+	for i := range n.txCredit {
+		cap := peer(i).cfg.RxQueueCap
+		w := (2*cap + senders - 1) / senders
+		if w > cap {
+			w = cap
+		}
+		if w < 1 {
+			w = 1
+		}
+		n.txCredit[i] = w
 	}
 }
 
-// txWake clears a sender's stall and restarts its transmit pump; the
-// wake-side half of the rxWaiters handshake.
-func (n *NIC) txWake() {
-	n.txStalled = false
-	n.txPump()
+// creditDone is the host-delivery completion for packets that hold a
+// receive-buffer slot: the host consumed the oldest outstanding delivery,
+// so its slot frees and the credit starts traveling back to that
+// packet's sender. Deliveries complete in delivery order (FIFO host bus
+// and CPU), which is what pairs the ring head with the right source.
+func (n *NIC) creditDone() {
+	src := n.rxSrcQ[n.rxSrcHead]
+	n.rxSrcHead++
+	if n.rxSrcHead == len(n.rxSrcQ) {
+		n.rxSrcQ = n.rxSrcQ[:0]
+		n.rxSrcHead = 0
+	}
+	n.returnCredit(src)
 }
 
-// RxHeld returns the number of occupied receive slots (for tests).
-func (n *NIC) RxHeld() int { return n.rxHeld }
+// pushRxSrc records the source of a host-bound delivery in the completion
+// ring, compacting the consumed prefix before the slice would grow.
+func (n *NIC) pushRxSrc(src int32) {
+	if len(n.rxSrcQ) == cap(n.rxSrcQ) && n.rxSrcHead > 0 {
+		m := copy(n.rxSrcQ, n.rxSrcQ[n.rxSrcHead:])
+		n.rxSrcQ = n.rxSrcQ[:m]
+		n.rxSrcHead = 0
+	}
+	n.rxSrcQ = append(n.rxSrcQ, src)
+}
+
+// returnCredit sends one flow-control credit back toward src, unless the
+// fault plane currently holds buffer slots, in which case the credit parks
+// in the debt queue until FaultReleaseRx.
+func (n *NIC) returnCredit(src int32) {
+	if n.faultHeld > len(n.debtQ)-n.debtHead {
+		n.debtQ = append(n.debtQ, src)
+		return
+	}
+	n.sendCredit(src)
+}
+
+// sendCredit models the stop/go credit's trip back to the sender: after
+// CreditReturnDelay the sender's window toward this node reopens by one.
+// The arrival is planted on the sender's engine, so a sender on another
+// shard learns of it at the next window merge.
+func (n *NIC) sendCredit(src int32) {
+	p := n.peer(int(src))
+	n.eng.AtCross(p.eng, uint32(p.node), n.eng.Now()+n.cfg.CreditReturnDelay, nicCreditArrive, p, n)
+}
+
+// nicCreditArrive runs on the sender's engine: one credit came back from
+// the returning NIC, reopening the sender's window toward it.
+func nicCreditArrive(a, b interface{}) {
+	sender := a.(*NIC)
+	from := b.(*NIC)
+	sender.txCredit[from.node]++
+	if sender.txStalled {
+		// Re-check the head: the pump re-stalls if this credit was for a
+		// different destination than the one blocking it.
+		sender.txStalled = false
+		sender.txPump()
+	}
+}
+
+// TxCredit returns the sender-side window toward dst (for tests).
+func (n *NIC) TxCredit(dst int) int { return n.txCredit[dst] }
 
 // SetHostDiscardHook installs the transmit-side discard observer. Call
 // before traffic flows; a nil hook disables observation.
 func (n *NIC) SetHostDiscardHook(fn func(*proto.Packet)) { n.onHostDiscard = fn }
 
-// FaultHoldRx occupies up to k receive-ring slots on behalf of the fault
-// plane, returning how many were taken. Held slots backpressure senders
-// exactly like slots pinned by a slow host.
+// FaultHoldRx occupies up to k receive-buffer slots on behalf of the fault
+// plane, returning how many were taken. While slots are held, an equal
+// number of outgoing flow-control credits are withheld, so senders see the
+// buffer shrink exactly as if a slow host pinned those slots.
 func (n *NIC) FaultHoldRx(k int) int {
-	held := 0
-	for i := 0; i < k && n.rxHeld < n.cfg.RxQueueCap; i++ {
-		n.rxHeld++
-		held++
+	held := k
+	if room := n.cfg.RxQueueCap - n.faultHeld; held > room {
+		held = room
+	}
+	if held < 0 {
+		held = 0
 	}
 	n.faultHeld += held
 	return held
 }
 
-// FaultReleaseRx releases slots taken by FaultHoldRx, waking stalled
-// senders.
+// FaultReleaseRx releases slots taken by FaultHoldRx, letting any credits
+// parked against them travel back to their senders.
 func (n *NIC) FaultReleaseRx(k int) {
 	if k > n.faultHeld {
 		k = n.faultHeld
 	}
 	n.faultHeld -= k
 	for i := 0; i < k; i++ {
-		n.releaseRx()
+		if n.debtHead < len(n.debtQ) {
+			src := n.debtQ[n.debtHead]
+			n.debtHead++
+			if n.debtHead == len(n.debtQ) {
+				n.debtQ = n.debtQ[:0]
+				n.debtHead = 0
+			}
+			n.sendCredit(src)
+		}
 	}
 }
 
@@ -383,6 +462,11 @@ func (n *NIC) Node() int { return n.node }
 
 // ProcUtilization returns the NIC processor utilization.
 func (n *NIC) ProcUtilization() float64 { return n.proc.Utilization() }
+
+// ProcUtilizationAt is ProcUtilization against an explicit end-of-run
+// clock, for sharded runs where a member engine's clock stops at its last
+// local event.
+func (n *NIC) ProcUtilizationAt(end vtime.ModelTime) float64 { return n.proc.UtilizationAt(end) }
 
 // Idle reports whether the NIC has no queued or in-flight work.
 func (n *NIC) Idle() bool {
@@ -446,13 +530,22 @@ func (n *NIC) takeCharge() int64 {
 	return c
 }
 
-// txPump drives the transmit side: dequeue head, run firmware on the NIC
-// processor, then serialize onto the wire. Strictly one packet at a time,
+// txPump drives the transmit side: dequeue head, run firmware, then pay
+// for the processor and serializer stages. Strictly one packet at a time,
 // modeling the single LanAI processor shared by all duties. A host-bound
-// packet must first reserve a receive slot at its destination; when the
-// destination is congested the pump stalls head-of-line — Myrinet's stop/go
-// backpressure — and the backlog accumulates here, in the send queue,
-// where the early-cancellation firmware can reach it.
+// packet must hold a flow-control credit for its destination; when the
+// destination window is closed the pump stalls head-of-line — Myrinet's
+// stop/go backpressure — and the backlog accumulates here, in the send
+// queue, where the early-cancellation firmware can reach it.
+//
+// The firmware verdict and the wire departure time are both known at pump
+// time, so a forwarded packet is announced to the fabric immediately: its
+// departure is max(processor finish, serializer free) + serialization,
+// which is exact because the serializer is fed only by this FIFO pump
+// (txFree mirrors tx.BusyUntil). Announcing ahead of the modeled stages is
+// what gives a cross-shard receiver the full NIC-plus-wire latency as
+// lookahead; the processor and serializer jobs still run for their time
+// and utilization accounting.
 func (n *NIC) txPump() {
 	if n.txPumping || n.txStalled || n.txFaultStalled || n.sendLen() == 0 {
 		return
@@ -462,13 +555,8 @@ func (n *NIC) txPump() {
 		if n.peer == nil {
 			panic("nic: transmit before WirePeers")
 		}
-		dst := n.peer(int(head.pkt.DstNode))
-		if !dst.tryReserveRx() {
-			// A NIC stalls on at most one destination at a time
-			// (txStalled gates txPump), so the waiter entry is just
-			// the sender itself — no closure.
+		if n.txCredit[head.pkt.DstNode] <= 0 {
 			n.txStalled = true
-			dst.rxWaiters = append(dst.rxWaiters, n)
 			return
 		}
 	}
@@ -486,7 +574,18 @@ func (n *NIC) txPump() {
 	n.txEntry = entry
 	n.txVerdict = verdict
 	cost := n.cycles(n.cfg.SendCycles + n.takeCharge())
-	n.proc.SubmitArg(cost, nicTxProcessed, n)
+	finishProc := n.proc.SubmitArg(cost, nicTxProcessed, n)
+	if verdict == VerdictForward {
+		if gated(entry.pkt.Kind) && entry.pkt.DstNode >= 0 {
+			// The credit is taken only when the packet actually travels;
+			// it comes back once the destination host consumes it.
+			n.txCredit[entry.pkt.DstNode]--
+		}
+		serialize := vtime.TransferTime(entry.pkt.EncodedSize(), n.linkBandwidth())
+		depart := vtime.MaxM(finishProc, n.txFree) + serialize
+		n.txFree = depart
+		n.fabric.Announce(n.node, entry.pkt, depart)
+	}
 }
 
 // nicTxProcessed is the processor-stage completion for the transmit pump.
@@ -496,11 +595,9 @@ func nicTxProcessed(x interface{}) {
 	case VerdictForward:
 		n.transmit()
 	case VerdictConsume, VerdictDrop:
-		// The reserved slot at the destination is never used.
 		pkt := n.txEntry.pkt
 		fromNIC := n.txEntry.fromNIC
 		n.txEntry = outEntry{}
-		n.unreserve(pkt)
 		if !fromNIC && n.onHostDiscard != nil {
 			n.onHostDiscard(pkt)
 		}
@@ -510,22 +607,17 @@ func nicTxProcessed(x interface{}) {
 	}
 }
 
-// unreserve returns the rx slot reserved for a packet that will not travel.
-func (n *NIC) unreserve(pkt *proto.Packet) {
-	if gated(pkt.Kind) && pkt.DstNode >= 0 {
-		n.peer(int(pkt.DstNode)).releaseRx()
-	}
-}
-
-// transmit serializes the in-flight packet onto the wire and injects it into
-// the fabric, then continues the pump.
+// transmit occupies the wire serializer for the in-flight packet (its
+// delivery was already announced at pump time), then continues the pump.
 func (n *NIC) transmit() {
 	size := n.txEntry.pkt.EncodedSize()
 	serialize := vtime.TransferTime(size, n.linkBandwidth())
 	n.tx.SubmitArg(serialize, nicTxSerialized, n)
 }
 
-// nicTxSerialized is the wire-stage completion for the transmit pump.
+// nicTxSerialized is the wire-stage completion for the transmit pump: the
+// packet left the NIC (the fabric has been carrying its announced arrival
+// since pump time).
 func nicTxSerialized(x interface{}) {
 	n := x.(*NIC)
 	entry := n.txEntry
@@ -535,7 +627,6 @@ func nicTxSerialized(x interface{}) {
 	} else {
 		n.Stats.HostTx.Inc()
 	}
-	n.fabric.Inject(n.node, entry.pkt)
 	n.txDone()
 }
 
@@ -590,6 +681,10 @@ func (n *NIC) rxPump() {
 }
 
 // nicRxProcessed is the processor-stage completion for the receive pump.
+// A packet that occupies a buffer slot (gated kind, not a wire duplicate)
+// owes its sender a credit: for host-bound deliveries the credit returns
+// when the host consumes the packet (creditDone); for packets the firmware
+// consumes or drops on the NIC, the slot frees right here.
 func nicRxProcessed(x interface{}) {
 	n := x.(*NIC)
 	pkt := n.rxPkt
@@ -601,19 +696,20 @@ func nicRxProcessed(x interface{}) {
 			panic("nic: receive before Wire")
 		}
 		if gated(pkt.Kind) && !pkt.WireDup {
-			n.deliverToHost(pkt, n.releaseRxFn)
+			n.pushRxSrc(pkt.SrcNode)
+			n.deliverToHost(pkt, n.creditDoneFn)
 		} else {
 			n.deliverToHost(pkt, noopDone)
 		}
 	case VerdictConsume:
 		n.Stats.RxConsumed.Inc()
 		if gated(pkt.Kind) && !pkt.WireDup {
-			n.releaseRx()
+			n.returnCredit(pkt.SrcNode)
 		}
 	case VerdictDrop:
 		n.Stats.RxDropped.Inc()
 		if gated(pkt.Kind) && !pkt.WireDup {
-			n.releaseRx()
+			n.returnCredit(pkt.SrcNode)
 		}
 	default:
 		panic(fmt.Sprintf("nic: bad receive verdict %v", n.rxVerdict))

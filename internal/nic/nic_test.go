@@ -50,7 +50,7 @@ func newRig(t *testing.T, n int, fw func(i int) Firmware) *rig {
 		toHost: make([][]*proto.Packet, n),
 		bells:  make([][]NotifyTag, n),
 	}
-	r.fabric = simnet.NewFabric(r.eng, simnet.DefaultConfig(), n)
+	r.fabric = simnet.NewFabric(simnet.DefaultConfig(), n)
 	for i := 0; i < n; i++ {
 		i := i
 		nc := New(r.eng, i, DefaultConfig(), r.fabric, fw(i))
@@ -250,6 +250,84 @@ func TestRemoveFromSendQueue(t *testing.T) {
 	}
 }
 
+func TestCreditWindowBackpressure(t *testing.T) {
+	// A destination whose host never consumes pins the sender's window:
+	// exactly RxQueueCap packets travel, the rest back up in the sender's
+	// send queue. Consuming at the host then returns credits and drains
+	// the backlog.
+	cfg := DefaultConfig()
+	cfg.RxQueueCap = 3
+	e := des.NewEngine()
+	f := simnet.NewFabric(simnet.DefaultConfig(), 2)
+	n0 := New(e, 0, cfg, f, &stubFirmware{})
+	n1 := New(e, 1, cfg, f, &stubFirmware{})
+	var parked []func()
+	n0.Wire(func(p *proto.Packet, done func()) { done() }, func(NotifyTag) {})
+	n1.Wire(func(p *proto.Packet, done func()) { parked = append(parked, done) }, func(NotifyTag) {})
+	peers := []*NIC{n0, n1}
+	n0.WirePeers(func(i int) *NIC { return peers[i] })
+	n1.WirePeers(func(i int) *NIC { return peers[i] })
+
+	for k := 0; k < 8; k++ {
+		n0.HostEnqueue(evPkt(0, 1))
+	}
+	e.Run(vtime.ModelInfinity)
+	if len(parked) != 3 {
+		t.Fatalf("delivered %d with window 3", len(parked))
+	}
+	if n0.TxCredit(1) != 0 || !n0.txStalled {
+		t.Fatalf("sender not stalled on closed window: credit=%d stalled=%v", n0.TxCredit(1), n0.txStalled)
+	}
+	// The host consumes everything delivered so far; credits return and the
+	// pump resumes until all 8 packets arrive.
+	for len(parked) > 0 {
+		batch := parked
+		parked = nil
+		for _, done := range batch {
+			done()
+		}
+		e.Run(vtime.ModelInfinity)
+	}
+	if got := n1.Stats.RxDelivered.Value(); got != 8 {
+		t.Fatalf("RxDelivered = %d, want 8", got)
+	}
+	if n0.TxCredit(1) != 3 {
+		t.Fatalf("window not fully restored: %d", n0.TxCredit(1))
+	}
+}
+
+func TestFaultHoldWithholdsCredits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RxQueueCap = 4
+	e := des.NewEngine()
+	f := simnet.NewFabric(simnet.DefaultConfig(), 2)
+	n0 := New(e, 0, cfg, f, &stubFirmware{})
+	n1 := New(e, 1, cfg, f, &stubFirmware{})
+	n0.Wire(func(p *proto.Packet, done func()) { done() }, func(NotifyTag) {})
+	n1.Wire(func(p *proto.Packet, done func()) { done() }, func(NotifyTag) {})
+	peers := []*NIC{n0, n1}
+	n0.WirePeers(func(i int) *NIC { return peers[i] })
+	n1.WirePeers(func(i int) *NIC { return peers[i] })
+
+	if held := n1.FaultHoldRx(2); held != 2 {
+		t.Fatalf("held %d, want 2", held)
+	}
+	for k := 0; k < 4; k++ {
+		n0.HostEnqueue(evPkt(0, 1))
+	}
+	e.Run(vtime.ModelInfinity)
+	// All four packets travel (the sender's window was open), but two
+	// credits are withheld by the hold: the window stays two short.
+	if n0.TxCredit(1) != 2 {
+		t.Fatalf("window = %d with 2 slots held, want 2", n0.TxCredit(1))
+	}
+	n1.FaultReleaseRx(2)
+	e.Run(vtime.ModelInfinity)
+	if n0.TxCredit(1) != 4 {
+		t.Fatalf("window = %d after release, want 4", n0.TxCredit(1))
+	}
+}
+
 func TestNotifyHostDoorbell(t *testing.T) {
 	r := newRig(t, 2, func(i int) Firmware {
 		if i == 1 {
@@ -303,7 +381,7 @@ func TestQueueOverflowCounted(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SendQueueCap = 2
 	e := des.NewEngine()
-	f := simnet.NewFabric(e, simnet.DefaultConfig(), 2)
+	f := simnet.NewFabric(simnet.DefaultConfig(), 2)
 	n0 := New(e, 0, cfg, f, &stubFirmware{})
 	n1 := New(e, 1, DefaultConfig(), f, &stubFirmware{})
 	sink := func(p *proto.Packet, done func()) { done() }
@@ -329,7 +407,7 @@ func TestNilFirmwarePanics(t *testing.T) {
 		}
 	}()
 	e := des.NewEngine()
-	f := simnet.NewFabric(e, simnet.DefaultConfig(), 1)
+	f := simnet.NewFabric(simnet.DefaultConfig(), 1)
 	New(e, 0, DefaultConfig(), f, nil)
 }
 

@@ -79,7 +79,9 @@ type DiskCache struct {
 //
 //	v1: original layout (bare <digest>.gob, pre-fault-plane results)
 //	v2: fault-injection counters + invariant report added to core.Result
-const cacheSchema = "v2"
+//	v3: lane-keyed event ordering and the NIC credit window changed the
+//	    committed schedule (and Result) of every config
+const cacheSchema = "v3"
 
 // NewDiskCache opens (creating if needed) a disk cache rooted at dir.
 func NewDiskCache(dir string) (*DiskCache, error) {

@@ -95,6 +95,12 @@ type Runner struct {
 	Cache Cache
 	// OnProgress, when non-nil, is invoked after each point completes.
 	OnProgress func(Progress)
+	// Exec is the execution strategy applied to every point (shard count
+	// etc.). It deliberately never enters the cache key: core.Config.Digest
+	// excludes execution strategy by construction, because a sharded run
+	// commits byte-identical results to the serial run — so cache entries
+	// written at one -shards value keep hitting at every other.
+	Exec core.Exec
 }
 
 // Run executes the batch and returns one Result per job, in submission
@@ -163,7 +169,7 @@ func (r *Runner) runOne(job Job) Result {
 	}
 	for attempt := 1; attempt <= 1+retries; attempt++ {
 		res.Attempts = attempt
-		out, err := execute(job.Config)
+		out, err := execute(job.Config, r.Exec)
 		if err == nil {
 			res.Res, res.Err = out, nil
 			if r.Cache != nil {
@@ -180,13 +186,13 @@ func (r *Runner) runOne(job Job) Result {
 // execute runs one cluster experiment, converting a panic anywhere in the
 // assembly or run into an error so a broken point cannot take the suite's
 // process down.
-func execute(cfg core.Config) (res *core.Result, err error) {
+func execute(cfg core.Config, ex core.Exec) (res *core.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("experiment panicked: %v", p)
 		}
 	}()
-	cl, err := core.NewCluster(cfg)
+	cl, err := core.NewClusterExec(cfg, ex)
 	if err != nil {
 		return nil, err
 	}

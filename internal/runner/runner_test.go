@@ -252,3 +252,43 @@ func TestProgressSerialAndComplete(t *testing.T) {
 		t.Errorf("notifications cover %d distinct points, want %d", len(names), len(jobs))
 	}
 }
+
+// TestCacheHitsAcrossShards is the cache-key half of the shard-invariance
+// contract: entries written by a serial run must be served, byte-identical,
+// to sharded runners (and vice versa), because the key is the config digest
+// and the digest cannot see the execution strategy.
+func TestCacheHitsAcrossShards(t *testing.T) {
+	jobs := testJobs(4)
+	cache := NewMemCache()
+	cold := (&Runner{Workers: 2, Cache: cache}).Run(jobs)
+	if err := FirstErr(cold); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4} {
+		warm := (&Runner{Workers: 2, Cache: cache, Exec: core.Exec{Shards: shards}}).Run(jobs)
+		if err := FirstErr(warm); err != nil {
+			t.Fatal(err)
+		}
+		if got := CachedCount(warm); got != len(jobs) {
+			t.Errorf("shards=%d: %d of %d points hit the serial-warmed cache", shards, got, len(jobs))
+		}
+		for i := range jobs {
+			if warm[i].Key != cold[i].Key {
+				t.Errorf("shards=%d slot %d: cache key %s != serial %s", shards, i, warm[i].Key, cold[i].Key)
+			}
+			if !reflect.DeepEqual(warm[i].Res, cold[i].Res) {
+				t.Errorf("shards=%d slot %d: cached result differs", shards, i)
+			}
+		}
+	}
+	// And the other direction: a cache warmed by a sharded runner serves a
+	// serial one.
+	cache2 := NewMemCache()
+	if err := FirstErr((&Runner{Workers: 2, Cache: cache2, Exec: core.Exec{Shards: 2}}).Run(jobs)); err != nil {
+		t.Fatal(err)
+	}
+	serial := (&Runner{Workers: 2, Cache: cache2}).Run(jobs)
+	if got := CachedCount(serial); got != len(jobs) {
+		t.Errorf("serial run hit only %d of %d points of a shard-warmed cache", got, len(jobs))
+	}
+}

@@ -14,6 +14,15 @@
 // NIC). A Tap (see SetTap) can override that on a per-packet basis — the
 // fault-injection plane in internal/fault uses it to model lossy, skewed
 // or degraded links while keeping every decision deterministic.
+//
+// The fabric is the shard boundary of a partitioned run: each port lives
+// on the engine of the NIC it connects (its shard), and a packet's entire
+// wire fate — tap decisions, retransmissions, duplicate clones — is
+// resolved on the *sender's* engine when the send is announced, before
+// anything crosses shards. Only the fully decided arrival event travels to
+// the destination engine, at a time bounded below by LinkLatency +
+// SwitchLatency past the announcement: that bound is the fabric's share of
+// the cross-shard lookahead contract.
 package simnet
 
 import (
@@ -46,30 +55,33 @@ func DefaultConfig() Config {
 	}
 }
 
-// Fabric is an N-port switch. Each port connects one NIC. Ports are
-// attached with a delivery callback invoked when a packet fully arrives at
-// the destination NIC.
+// MinTransitTime returns the smallest possible announce-to-arrival delay of
+// the fabric: the floor used when sizing the cross-shard window. Output-port
+// serialization only adds to it.
+func (c Config) MinTransitTime() vtime.ModelTime {
+	return c.LinkLatency + c.SwitchLatency
+}
+
+// Fabric is an N-port switch. Each port connects one NIC and lives on that
+// NIC's engine; senders announce departures and the fabric plants the
+// decided arrivals on the destination engines.
 type Fabric struct {
-	eng   *des.Engine
 	cfg   Config
 	ports []port
 	tap   Tap
-
-	freeTransit *transit // free list of in-flight packet records
-
-	// Metrics.
-	Forwarded  stats.Counter // packets forwarded (unicast count, broadcasts expanded)
-	Bytes      stats.Counter // bytes forwarded
-	Broadcasts stats.Counter // broadcast injections
 }
 
-// Tap observes every packet as it enters the switch and can alter its
-// fate. Exactly one tap can be installed per fabric; a nil tap (the
-// default) leaves the fabric perfectly reliable.
+// Tap observes every packet as its wire fate is decided and can alter it.
+// Exactly one tap can be installed per fabric; a nil tap (the default)
+// leaves the fabric perfectly reliable.
 type Tap interface {
-	// OnRoute is called once per unicast routing decision (broadcasts are
-	// expanded first, so each replica is seen individually). The returned
-	// decision is applied by the fabric.
+	// OnRoute is called once per unicast fate decision (broadcasts are
+	// expanded first, so each replica is seen individually; retransmissions
+	// and duplicate clones are re-offered). The returned decision is
+	// applied by the fabric. Calls for a given srcPort always come from
+	// that port's engine, in deterministic order; calls for different
+	// source ports may be concurrent when the run is sharded, so per-source
+	// tap state must be keyed by srcPort.
 	OnRoute(srcPort, dstPort int, pkt *proto.Packet) TapDecision
 }
 
@@ -93,54 +105,32 @@ type TapDecision struct {
 // SetTap installs t as the fabric's tap. Call before traffic flows.
 func (f *Fabric) SetTap(t Tap) { f.tap = t }
 
-// transit is one packet's journey through the switch, threaded through the
-// three stages (switch arrival, output-port serialization, final link
-// propagation) as a pooled record instead of nested closures.
-type transit struct {
-	f       *Fabric
-	srcPort int
-	dstPort int
-	pkt     *proto.Packet //nicwarp:owns wire transit; handed to the receiver NIC on arrival
-	next    *transit
-}
-
-// allocTransit takes a transit record from the free list, or allocates one.
-func (f *Fabric) allocTransit() *transit {
-	t := f.freeTransit
-	if t != nil {
-		f.freeTransit = t.next
-		t.next = nil
-	} else {
-		t = &transit{f: f}
-	}
-	return t
-}
-
-// releaseTransit clears a record and returns it to the free list.
-func (f *Fabric) releaseTransit(t *transit) {
-	t.pkt = nil
-	t.srcPort = 0
-	t.dstPort = 0
-	t.next = f.freeTransit
-	f.freeTransit = t
-}
-
+// port is one switch port: the engine and lane of the NIC it connects, the
+// delivery callback, and the output-port serializer. Counters are per-port
+// because ports on different shards count concurrently.
 type port struct {
+	f       *Fabric
+	eng     *des.Engine
+	lane    uint32
 	deliver func(*proto.Packet)
 	out     *des.Resource // output-port serializer (switch -> NIC link)
+
+	forwarded  stats.Counter // packets delivered out of this port
+	bytes      stats.Counter // bytes delivered out of this port
+	broadcasts stats.Counter // broadcasts announced by this port's NIC
 }
 
-// NewFabric creates a fabric with n ports.
-func NewFabric(eng *des.Engine, cfg Config, n int) *Fabric {
+// NewFabric creates a fabric with n unattached ports.
+func NewFabric(cfg Config, n int) *Fabric {
 	if n <= 0 {
 		panic("simnet: fabric needs at least one port")
 	}
 	if cfg.LinkBandwidth <= 0 {
 		panic("simnet: nonpositive link bandwidth")
 	}
-	f := &Fabric{eng: eng, cfg: cfg, ports: make([]port, n)}
+	f := &Fabric{cfg: cfg, ports: make([]port, n)}
 	for i := range f.ports {
-		f.ports[i].out = des.NewResource(eng, fmt.Sprintf("switch-port-%d", i))
+		f.ports[i].f = f
 	}
 	return f
 }
@@ -152,39 +142,56 @@ func (f *Fabric) NumPorts() int { return len(f.ports) }
 // with the NICs that drive the links.
 func (f *Fabric) LinkBandwidth() float64 { return f.cfg.LinkBandwidth }
 
-// Attach registers the delivery callback for a port. Must be called for
-// every port before traffic flows.
-func (f *Fabric) Attach(portID int, deliver func(*proto.Packet)) {
+// Attach connects a port to the NIC it serves: the engine (shard) and lane
+// the NIC lives on, and the callback invoked when a packet fully arrives.
+// Must be called for every port before traffic flows.
+func (f *Fabric) Attach(portID int, eng *des.Engine, lane uint32, deliver func(*proto.Packet)) {
 	if deliver == nil {
 		panic("simnet: nil deliver callback")
 	}
-	f.ports[portID].deliver = deliver
+	if eng == nil {
+		panic("simnet: nil engine")
+	}
+	p := &f.ports[portID]
+	p.eng = eng
+	p.lane = lane
+	p.deliver = deliver
+	p.out = des.NewResource(eng, fmt.Sprintf("switch-port-%d", portID))
 }
 
-// Inject accepts a packet from the NIC at srcPort. The caller has already
-// paid the NIC-side serialization onto the wire; Inject models link
-// propagation to the switch, switch latency, output-port serialization and
-// propagation to the destination NIC.
+// Announce accepts a send from the NIC at srcPort that will finish
+// serializing onto the wire at model time depart (>= the port engine's
+// now). The packet's complete wire fate is decided immediately on the
+// caller's engine; surviving arrivals are planted on their destination
+// engines at depart + LinkLatency + SwitchLatency (+ tap delays), where
+// they contend for the output port and cross the final link.
 //
 // A packet with DstNode == -1 is a broadcast and is replicated to every
 // port except the source, the way the paper's NIC-GVT firmware broadcasts
 // the final GVT value.
-func (f *Fabric) Inject(srcPort int, pkt *proto.Packet) {
+func (f *Fabric) Announce(srcPort int, pkt *proto.Packet, depart vtime.ModelTime) {
 	if pkt == nil {
 		panic("simnet: nil packet")
 	}
 	if srcPort < 0 || srcPort >= len(f.ports) {
 		panic(fmt.Sprintf("simnet: bad source port %d", srcPort))
 	}
+	src := &f.ports[srcPort]
+	if src.eng == nil {
+		panic(fmt.Sprintf("simnet: port %d is not attached", srcPort))
+	}
+	if depart < src.eng.Now() {
+		panic(fmt.Sprintf("simnet: departure %v is before now %v", depart, src.eng.Now()))
+	}
 	if pkt.DstNode == -1 {
-		f.Broadcasts.Inc()
+		src.broadcasts.Inc()
 		for i := range f.ports {
 			if i == srcPort {
 				continue
 			}
 			copyPkt := pkt.Clone()
 			copyPkt.DstNode = int32(i)
-			f.route(srcPort, i, copyPkt)
+			f.launch(srcPort, i, copyPkt, depart)
 		}
 		return
 	}
@@ -192,86 +199,108 @@ func (f *Fabric) Inject(srcPort int, pkt *proto.Packet) {
 	if dst < 0 || dst >= len(f.ports) {
 		panic(fmt.Sprintf("simnet: bad destination node %d", dst))
 	}
-	f.route(srcPort, dst, pkt)
+	f.launch(srcPort, dst, pkt, depart)
 }
 
-// route moves a packet from the switch input at srcPort to dstPort,
-// consulting the tap (if any) first.
-func (f *Fabric) route(srcPort, dstPort int, pkt *proto.Packet) {
-	delay := f.cfg.LinkLatency + f.cfg.SwitchLatency
-	if f.tap != nil {
+// launch resolves the tap fate chain for one unicast replica and, if the
+// packet survives, plants its switch-arrival event on the destination
+// engine. Retransmissions loop here (the tap rolls again per attempt, with
+// the retransmission delay pushing departure back); duplicate clones
+// recurse as independent attempts. All randomness is consumed on the
+// source engine at announce time, so the decision sequence per source port
+// is deterministic regardless of sharding.
+func (f *Fabric) launch(srcPort, dstPort int, pkt *proto.Packet, depart vtime.ModelTime) {
+	var extra vtime.ModelTime
+	for f.tap != nil {
 		d := f.tap.OnRoute(srcPort, dstPort, pkt)
 		if d.Dup {
-			dup := f.allocTransit()
-			dup.srcPort = srcPort
-			dup.dstPort = dstPort
 			c := pkt.Clone()
 			c.WireDup = true // holds no rx slot at the receiver
-			dup.pkt = c
-			f.eng.ScheduleArg(d.DupDelay, transitReroute, dup)
+			f.launch(srcPort, dstPort, c, depart+d.DupDelay)
 		}
 		if d.Drop {
 			if d.Redeliver > 0 {
-				t := f.allocTransit()
-				t.srcPort = srcPort
-				t.dstPort = dstPort
-				t.pkt = pkt
-				f.eng.ScheduleArg(d.Redeliver, transitReroute, t)
+				depart += d.Redeliver
+				continue
 			}
-			return
+			return // lost permanently
 		}
-		delay += d.ExtraDelay
+		extra = d.ExtraDelay
+		break
 	}
-	t := f.allocTransit()
-	t.srcPort = srcPort
-	t.dstPort = dstPort
-	t.pkt = pkt
-	// Propagation from NIC to switch plus switch routing latency, then the
-	// packet competes for the destination output port.
-	f.eng.ScheduleArg(delay, transitAtSwitch, t)
-}
-
-// transitReroute re-offers a delayed copy or a retransmitted packet to the
-// fabric; the tap rolls again on each attempt.
-func transitReroute(x interface{}) {
-	t := x.(*transit)
-	f, src, dst, pkt := t.f, t.srcPort, t.dstPort, t.pkt
-	f.releaseTransit(t)
-	f.route(src, dst, pkt)
-}
-
-// transitAtSwitch: the packet reached the switch; contend for the output
-// port's serializer.
-func transitAtSwitch(x interface{}) {
-	t := x.(*transit)
-	f := t.f
-	serialize := vtime.TransferTime(t.pkt.EncodedSize(), f.cfg.LinkBandwidth)
-	f.ports[t.dstPort].out.SubmitArg(serialize, transitSerialized, t)
-}
-
-// transitSerialized: the output port finished serializing; propagate down
-// the final link to the destination NIC.
-func transitSerialized(x interface{}) {
-	t := x.(*transit)
-	t.f.eng.ScheduleArg(t.f.cfg.LinkLatency, transitDeliver, t)
-}
-
-// transitDeliver: the packet fully arrived. The record is released before
-// the delivery callback runs, because delivery can inject new packets.
-func transitDeliver(x interface{}) {
-	t := x.(*transit)
-	f, dstPort, pkt := t.f, t.dstPort, t.pkt
-	f.releaseTransit(t)
-	f.Forwarded.Inc()
-	f.Bytes.Add(int64(pkt.EncodedSize()))
-	d := f.ports[dstPort].deliver
-	if d == nil {
+	src := &f.ports[srcPort]
+	dst := &f.ports[dstPort]
+	if dst.eng == nil {
 		panic(fmt.Sprintf("simnet: port %d has no receiver", dstPort))
 	}
-	d(pkt)
+	// Propagation to the switch plus routing latency; then the packet
+	// contends for the destination output port on the destination engine.
+	at := depart + f.cfg.LinkLatency + f.cfg.SwitchLatency + extra
+	src.eng.AtCross(dst.eng, dst.lane, at, portArrival, dst, pkt)
 }
 
-// PortUtilization returns the output-port utilization of portID.
+// portArrival: the packet reached the switch side of the destination's
+// output port; contend for the serializer. Runs on the destination engine.
+func portArrival(a, b interface{}) {
+	p := a.(*port)
+	pkt := b.(*proto.Packet)
+	serialize := vtime.TransferTime(pkt.EncodedSize(), p.f.cfg.LinkBandwidth)
+	p.out.SubmitArg2(serialize, portSerialized, p, pkt)
+}
+
+// portSerialized: the output port finished serializing; propagate down the
+// final link to the destination NIC.
+func portSerialized(a, b interface{}) {
+	p := a.(*port)
+	p.eng.ScheduleArg2(p.f.cfg.LinkLatency, portDeliver, p, b)
+}
+
+// portDeliver: the packet fully arrived at the destination NIC.
+func portDeliver(a, b interface{}) {
+	p := a.(*port)
+	pkt := b.(*proto.Packet)
+	p.forwarded.Inc()
+	p.bytes.Add(int64(pkt.EncodedSize()))
+	p.deliver(pkt)
+}
+
+// Forwarded returns the total packets delivered (unicast count, broadcasts
+// expanded), summed over ports. Call after the run quiesces.
+func (f *Fabric) Forwarded() int64 {
+	var n int64
+	for i := range f.ports {
+		n += f.ports[i].forwarded.Value()
+	}
+	return n
+}
+
+// Bytes returns the total bytes delivered, summed over ports.
+func (f *Fabric) Bytes() int64 {
+	var n int64
+	for i := range f.ports {
+		n += f.ports[i].bytes.Value()
+	}
+	return n
+}
+
+// Broadcasts returns the number of broadcast announcements.
+func (f *Fabric) Broadcasts() int64 {
+	var n int64
+	for i := range f.ports {
+		n += f.ports[i].broadcasts.Value()
+	}
+	return n
+}
+
+// PortUtilization returns the output-port utilization of portID against
+// its own engine's clock.
 func (f *Fabric) PortUtilization(portID int) float64 {
 	return f.ports[portID].out.Utilization()
+}
+
+// PortUtilizationAt is PortUtilization against an explicit end-of-run
+// clock, for sharded runs where member clocks stop at their last local
+// event.
+func (f *Fabric) PortUtilizationAt(portID int, end vtime.ModelTime) float64 {
+	return f.ports[portID].out.UtilizationAt(end)
 }

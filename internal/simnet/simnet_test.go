@@ -20,23 +20,28 @@ func pkt(src, dst int32) *proto.Packet {
 	return &proto.Packet{Kind: proto.KindEvent, SrcNode: src, DstNode: dst}
 }
 
+// attachAll attaches every port to the one engine, lane = port id.
+func attachAll(f *Fabric, e *des.Engine, deliver func(port int, p *proto.Packet)) {
+	for i := 0; i < f.NumPorts(); i++ {
+		i := i
+		f.Attach(i, e, uint32(i), func(p *proto.Packet) { deliver(i, p) })
+	}
+}
+
 func TestUnicastDelivery(t *testing.T) {
 	e := des.NewEngine()
-	f := NewFabric(e, testConfig(), 4)
+	f := NewFabric(testConfig(), 4)
 	var got []*proto.Packet
 	var at vtime.ModelTime
-	for i := 0; i < 4; i++ {
-		i := i
-		f.Attach(i, func(p *proto.Packet) {
-			if i != int(p.DstNode) {
-				t.Errorf("packet for %d delivered to port %d", p.DstNode, i)
-			}
-			got = append(got, p)
-			at = e.Now()
-		})
-	}
+	attachAll(f, e, func(port int, p *proto.Packet) {
+		if port != int(p.DstNode) {
+			t.Errorf("packet for %d delivered to port %d", p.DstNode, port)
+		}
+		got = append(got, p)
+		at = e.Now()
+	})
 	p := pkt(0, 2)
-	f.Inject(0, p)
+	f.Announce(0, p, 0)
 	e.Run(vtime.ModelInfinity)
 	if len(got) != 1 || got[0] != p {
 		t.Fatalf("delivered %d packets", len(got))
@@ -47,24 +52,44 @@ func TestUnicastDelivery(t *testing.T) {
 	if at != want {
 		t.Fatalf("delivery at %v, want %v", at, want)
 	}
-	if f.Forwarded.Value() != 1 {
-		t.Fatalf("forwarded = %d", f.Forwarded.Value())
+	if f.Forwarded() != 1 {
+		t.Fatalf("forwarded = %d", f.Forwarded())
 	}
-	if f.Bytes.Value() != int64(p.EncodedSize()) {
-		t.Fatalf("bytes = %d", f.Bytes.Value())
+	if f.Bytes() != int64(p.EncodedSize()) {
+		t.Fatalf("bytes = %d", f.Bytes())
+	}
+}
+
+func TestFutureDeparture(t *testing.T) {
+	// An announced departure in the future delays the whole chain by the
+	// same amount: the fabric decides fate now but nothing moves early.
+	e := des.NewEngine()
+	f := NewFabric(testConfig(), 2)
+	var at vtime.ModelTime
+	attachAll(f, e, func(port int, p *proto.Packet) { at = e.Now() })
+	p := pkt(0, 1)
+	f.Announce(0, p, 700)
+	e.Run(vtime.ModelInfinity)
+	serialize := vtime.TransferTime(p.EncodedSize(), 100e6)
+	want := 700 + 100 + 50 + serialize + 100
+	if at != want {
+		t.Fatalf("delivery at %v, want %v", at, want)
 	}
 }
 
 func TestFIFOPerPath(t *testing.T) {
 	e := des.NewEngine()
-	f := NewFabric(e, testConfig(), 2)
+	f := NewFabric(testConfig(), 2)
 	var seqs []uint64
-	f.Attach(0, func(p *proto.Packet) {})
-	f.Attach(1, func(p *proto.Packet) { seqs = append(seqs, p.Seq) })
+	attachAll(f, e, func(port int, p *proto.Packet) {
+		if port == 1 {
+			seqs = append(seqs, p.Seq)
+		}
+	})
 	for i := 0; i < 20; i++ {
 		p := pkt(0, 1)
 		p.Seq = uint64(i)
-		f.Inject(0, p)
+		f.Announce(0, p, 0)
 	}
 	e.Run(vtime.ModelInfinity)
 	if len(seqs) != 20 {
@@ -83,13 +108,11 @@ func TestOutputPortContention(t *testing.T) {
 	// uncontended transfer.
 	e := des.NewEngine()
 	cfg := testConfig()
-	f := NewFabric(e, cfg, 3)
+	f := NewFabric(cfg, 3)
 	var times []vtime.ModelTime
-	for i := 0; i < 3; i++ {
-		f.Attach(i, func(p *proto.Packet) { times = append(times, e.Now()) })
-	}
-	f.Inject(0, pkt(0, 2))
-	f.Inject(1, pkt(1, 2))
+	attachAll(f, e, func(port int, p *proto.Packet) { times = append(times, e.Now()) })
+	f.Announce(0, pkt(0, 2), 0)
+	f.Announce(1, pkt(1, 2), 0)
 	e.Run(vtime.ModelInfinity)
 	if len(times) != 2 {
 		t.Fatalf("delivered %d", len(times))
@@ -103,20 +126,17 @@ func TestOutputPortContention(t *testing.T) {
 
 func TestBroadcast(t *testing.T) {
 	e := des.NewEngine()
-	f := NewFabric(e, testConfig(), 4)
+	f := NewFabric(testConfig(), 4)
 	got := map[int]int{}
-	for i := 0; i < 4; i++ {
-		i := i
-		f.Attach(i, func(p *proto.Packet) {
-			got[i]++
-			if int(p.DstNode) != i {
-				t.Errorf("broadcast copy at port %d has DstNode %d", i, p.DstNode)
-			}
-		})
-	}
+	attachAll(f, e, func(port int, p *proto.Packet) {
+		got[port]++
+		if int(p.DstNode) != port {
+			t.Errorf("broadcast copy at port %d has DstNode %d", port, p.DstNode)
+		}
+	})
 	b := pkt(1, -1)
 	b.Kind = proto.KindGVTBroadcast
-	f.Inject(1, b)
+	f.Announce(1, b, 0)
 	e.Run(vtime.ModelInfinity)
 	if got[1] != 0 {
 		t.Fatal("broadcast echoed to source")
@@ -126,20 +146,122 @@ func TestBroadcast(t *testing.T) {
 			t.Fatalf("port %d got %d copies", i, got[i])
 		}
 	}
-	if f.Broadcasts.Value() != 1 {
-		t.Fatalf("broadcasts = %d", f.Broadcasts.Value())
+	if f.Broadcasts() != 1 {
+		t.Fatalf("broadcasts = %d", f.Broadcasts())
+	}
+}
+
+// scriptTap replays a fixed decision list, one per OnRoute call.
+type scriptTap struct {
+	decisions []TapDecision
+	calls     int
+}
+
+func (s *scriptTap) OnRoute(srcPort, dstPort int, pkt *proto.Packet) TapDecision {
+	d := TapDecision{}
+	if s.calls < len(s.decisions) {
+		d = s.decisions[s.calls]
+	}
+	s.calls++
+	return d
+}
+
+func TestTapRetransmitDelaysDeparture(t *testing.T) {
+	// Drop with Redeliver re-offers the same packet after the retx delay;
+	// the tap is rolled again and the delivery lands one retx later.
+	e := des.NewEngine()
+	f := NewFabric(testConfig(), 2)
+	tap := &scriptTap{decisions: []TapDecision{
+		{Drop: true, Redeliver: 400},
+		{},
+	}}
+	f.SetTap(tap)
+	var at vtime.ModelTime
+	n := 0
+	attachAll(f, e, func(port int, p *proto.Packet) { at = e.Now(); n++ })
+	p := pkt(0, 1)
+	p.Seq = 1 // non-control: taps apply
+	f.Announce(0, p, 0)
+	e.Run(vtime.ModelInfinity)
+	serialize := vtime.TransferTime(p.EncodedSize(), 100e6)
+	want := 400 + 100 + 50 + serialize + 100
+	if n != 1 || at != want {
+		t.Fatalf("delivered %d at %v, want 1 at %v", n, at, want)
+	}
+	if tap.calls != 2 {
+		t.Fatalf("tap rolled %d times, want 2", tap.calls)
+	}
+}
+
+func TestTapDuplicateClones(t *testing.T) {
+	e := des.NewEngine()
+	f := NewFabric(testConfig(), 2)
+	tap := &scriptTap{decisions: []TapDecision{
+		{Dup: true, DupDelay: 200},
+		{}, // the clone's own roll
+	}}
+	f.SetTap(tap)
+	var dups, originals int
+	attachAll(f, e, func(port int, p *proto.Packet) {
+		if p.WireDup {
+			dups++
+		} else {
+			originals++
+		}
+	})
+	p := pkt(0, 1)
+	p.Seq = 1
+	f.Announce(0, p, 0)
+	e.Run(vtime.ModelInfinity)
+	if originals != 1 || dups != 1 {
+		t.Fatalf("originals=%d dups=%d, want 1/1", originals, dups)
+	}
+}
+
+func TestTapTrueLoss(t *testing.T) {
+	e := des.NewEngine()
+	f := NewFabric(testConfig(), 2)
+	f.SetTap(&scriptTap{decisions: []TapDecision{{Drop: true}}})
+	n := 0
+	attachAll(f, e, func(port int, p *proto.Packet) { n++ })
+	p := pkt(0, 1)
+	p.Seq = 1
+	f.Announce(0, p, 0)
+	e.Run(vtime.ModelInfinity)
+	if n != 0 {
+		t.Fatalf("delivered %d, want 0 (lost)", n)
+	}
+}
+
+func TestCrossEngineDelivery(t *testing.T) {
+	// Ports on different engines of a shard group: the arrival crosses at
+	// the merge barrier and lands at the same time a serial run would see.
+	e0, e1 := des.NewEngine(), des.NewEngine()
+	cfg := testConfig()
+	g := des.NewGroup([]*des.Engine{e0, e1}, cfg.MinTransitTime())
+	f := NewFabric(cfg, 2)
+	var at vtime.ModelTime
+	n := 0
+	f.Attach(0, e0, 0, func(p *proto.Packet) { t.Error("port 0 got a packet") })
+	f.Attach(1, e1, 1, func(p *proto.Packet) { at = e1.Now(); n++ })
+	p := pkt(0, 1)
+	e0.At(0, func() { f.Announce(0, p, e0.Now()) })
+	g.Run(vtime.ModelInfinity)
+	serialize := vtime.TransferTime(p.EncodedSize(), cfg.LinkBandwidth)
+	want := 100 + 50 + serialize + 100
+	if n != 1 || at != want {
+		t.Fatalf("delivered %d at %v, want 1 at %v", n, at, want)
 	}
 }
 
 func TestPanicsOnBadPort(t *testing.T) {
 	e := des.NewEngine()
-	f := NewFabric(e, testConfig(), 2)
-	f.Attach(0, func(*proto.Packet) {})
-	f.Attach(1, func(*proto.Packet) {})
+	f := NewFabric(testConfig(), 2)
+	attachAll(f, e, func(int, *proto.Packet) {})
 	for _, c := range []func(){
-		func() { f.Inject(5, pkt(0, 1)) },
-		func() { f.Inject(0, pkt(0, 9)) },
-		func() { f.Inject(0, nil) },
+		func() { f.Announce(5, pkt(0, 1), 0) },
+		func() { f.Announce(0, pkt(0, 9), 0) },
+		func() { f.Announce(0, nil, 0) },
 	} {
 		func() {
 			defer func() {
@@ -154,24 +276,22 @@ func TestPanicsOnBadPort(t *testing.T) {
 
 func TestUnattachedPortPanics(t *testing.T) {
 	e := des.NewEngine()
-	f := NewFabric(e, testConfig(), 2)
-	f.Attach(0, func(*proto.Packet) {})
-	f.Inject(0, pkt(0, 1))
+	f := NewFabric(testConfig(), 2)
+	f.Attach(0, e, 0, func(*proto.Packet) {})
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic for unattached receiver")
 		}
 	}()
-	e.Run(vtime.ModelInfinity)
+	f.Announce(0, pkt(0, 1), 0)
 }
 
 func TestPortUtilizationGrows(t *testing.T) {
 	e := des.NewEngine()
-	f := NewFabric(e, testConfig(), 2)
-	f.Attach(0, func(*proto.Packet) {})
-	f.Attach(1, func(*proto.Packet) {})
+	f := NewFabric(testConfig(), 2)
+	attachAll(f, e, func(int, *proto.Packet) {})
 	for i := 0; i < 50; i++ {
-		f.Inject(0, pkt(0, 1))
+		f.Announce(0, pkt(0, 1), 0)
 	}
 	e.Run(vtime.ModelInfinity)
 	if f.PortUtilization(1) <= 0 {
@@ -179,6 +299,9 @@ func TestPortUtilizationGrows(t *testing.T) {
 	}
 	if f.PortUtilization(0) != 0 {
 		t.Fatal("port 0 carried no traffic")
+	}
+	if f.PortUtilizationAt(1, e.Now()) != f.PortUtilization(1) {
+		t.Fatal("PortUtilizationAt(now) should match PortUtilization")
 	}
 }
 
@@ -189,5 +312,8 @@ func TestDefaultConfigSane(t *testing.T) {
 	}
 	if cfg.LinkLatency <= 0 || cfg.SwitchLatency <= 0 {
 		t.Fatal("default latencies must be positive")
+	}
+	if cfg.MinTransitTime() != cfg.LinkLatency+cfg.SwitchLatency {
+		t.Fatal("MinTransitTime must be link + switch latency")
 	}
 }

@@ -40,6 +40,11 @@ type Options struct {
 	Nodes int
 	// Scale multiplies workload sizes; 0 means 1.
 	Scale float64
+	// Shards is the per-point shard count; 0 or 1 means serial. Execution
+	// strategy only: every judgement (digests, oracles, baselines) is
+	// identical at any value, so a sharded sweep crossing the fault plane
+	// over shard boundaries is itself a protocol check.
+	Shards int
 	// Workers is the pool size; <= 0 means GOMAXPROCS.
 	Workers int
 	// Cache, when non-nil, serves repeat points by config digest.
@@ -213,7 +218,8 @@ func Sweep(o Options) (*Report, error) {
 		}
 	}
 
-	pool := &runner.Runner{Workers: o.Workers, Cache: o.Cache, OnProgress: o.OnProgress}
+	pool := &runner.Runner{Workers: o.Workers, Cache: o.Cache, OnProgress: o.OnProgress,
+		Exec: core.Exec{Shards: o.Shards}}
 	results := pool.Run(jobs)
 
 	rep := &Report{
@@ -327,7 +333,8 @@ func (o Options) pointFails(app, scenario string, seed uint64) bool {
 	if err != nil {
 		return false // malformed candidate: not evidence of the failure
 	}
-	pool := &runner.Runner{Workers: 1, Retries: 0, Cache: o.Cache}
+	pool := &runner.Runner{Workers: 1, Retries: 0, Cache: o.Cache,
+		Exec: core.Exec{Shards: o.Shards}}
 	res := pool.Run([]runner.Job{{Name: "shrink", Config: cfg}})[0]
 	baseline := ""
 	if lossFree(scenario) {

@@ -163,3 +163,47 @@ func atofOrFail(t *testing.T, s string) float64 {
 	}
 	return v
 }
+
+// TestSweepShardedMatchesSerial crosses the fault plane with the shard
+// plane: a sweep over every loss-free wire scenario, executed at 2 and 3
+// shards (3 leaves the 4-node cluster unevenly partitioned), must produce
+// a byte-identical report to the serial sweep — same digests, same oracle
+// verdicts, same baselines. The hostile skewgvt hook is deliberately
+// absent: its gvt-safety oracle is a serial-only instantaneous check (see
+// invariant.Checker.SetSharded).
+func TestSweepShardedMatchesSerial(t *testing.T) {
+	base := Options{
+		Apps:      []string{"phold"},
+		Scenarios: []string{"drop", "dup", "chaos"},
+		Seeds:     []uint64{1, 2},
+		Workers:   2,
+	}
+	render := func(o Options) string {
+		t.Helper()
+		rep, err := Sweep(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failures != 0 {
+			for _, p := range rep.Points {
+				if !p.Pass {
+					t.Errorf("shards=%d: point %s failed: %s %v", o.Shards, p.Name, p.Error, p.Violations)
+				}
+			}
+			t.Fatalf("shards=%d: %d failures", o.Shards, rep.Failures)
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	serialJSON := render(base)
+	for _, shards := range []int{2, 3} {
+		o := base
+		o.Shards = shards
+		if got := render(o); got != serialJSON {
+			t.Fatalf("shards=%d report differs from serial:\n%s\nvs\n%s", shards, got, serialJSON)
+		}
+	}
+}

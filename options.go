@@ -1,0 +1,96 @@
+package nicwarp
+
+import (
+	"nicwarp/internal/core"
+	"nicwarp/internal/fault"
+	"nicwarp/internal/perfbench"
+)
+
+// This file is the functional-options surface of Run. Config stays what it
+// always was — the model parameters that define an experiment's identity
+// and feed its digest — while everything about *how* the run executes
+// (shard count, instrumentation, injected faults from a named plan) arrives
+// as a RunOption. New execution knobs must land here, not as positional
+// Config struct fields: an option composes, documents itself at the call
+// site, and cannot silently change the digest of every cached result.
+
+// Exec is the execution strategy applied to a run: knobs that change how
+// the simulation executes but, by the sharded-identity guarantee, never
+// what it computes. It is excluded from Config.Digest by construction.
+type Exec = core.Exec
+
+// FaultPlan is a validated fault-injection plan (see WithFaultPlan).
+type FaultPlan = fault.Plan
+
+// FaultScenario resolves a named fault scenario ("drop", "dup", "chaos",
+// …; see ScenarioNames) and a fault seed to a validated plan.
+func FaultScenario(name string, seed uint64) (FaultPlan, error) {
+	return fault.PlanFor(name, seed)
+}
+
+// ScenarioNames returns the loss-free fault scenario names, in registry
+// order.
+func ScenarioNames() []string { return fault.Scenarios() }
+
+// Meter measures runs against an injected wall clock (see WithMeter).
+type Meter = perfbench.Meter
+
+// MeterPoint is one run's telemetry as captured by WithMeter.
+type MeterPoint = perfbench.Point
+
+// RunOption customizes one Run call. The zero set of options reproduces
+// the historical Run(cfg) behavior exactly: serial execution, no faults,
+// no instrumentation.
+type RunOption func(*runOptions)
+
+type runOptions struct {
+	exec  core.Exec
+	fault *FaultPlan
+	meter *Meter
+	name  string
+	sink  func(MeterPoint)
+}
+
+func applyOptions(opts []RunOption) runOptions {
+	var o runOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// WithShards partitions the run's nodes across n event-scheduler shards
+// connected by a bounded-lookahead window protocol. Committed results are
+// byte-identical to the serial run at any shard count — sharding is pure
+// execution strategy — so the config digest, and with it the result cache
+// key, does not see n. Counts below 1 or above the node count are clamped;
+// configurations without a positive lookahead (or with run-time sampling
+// enabled) fall back to serial execution.
+func WithShards(n int) RunOption {
+	return func(o *runOptions) { o.exec.Shards = n }
+}
+
+// WithFaultPlan injects the plan's wire and ring faults into the run.
+// Unlike the Exec knobs, a fault plan is a model parameter — it changes
+// what the cluster computes — so it lands in Config.Fault and is covered
+// by the digest.
+func WithFaultPlan(plan FaultPlan) RunOption {
+	return func(o *runOptions) {
+		p := plan
+		o.fault = &p
+	}
+}
+
+// WithMeter measures the run — cluster assembly plus execution, on a
+// quiesced heap — on m and hands the telemetry point, recorded under name,
+// to sink. A nil sink discards the point (useful when m aggregates
+// elsewhere via its clock).
+func WithMeter(m *Meter, name string, sink func(MeterPoint)) RunOption {
+	return func(o *runOptions) {
+		o.meter = m
+		o.name = name
+		o.sink = sink
+	}
+}

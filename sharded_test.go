@@ -1,0 +1,184 @@
+package nicwarp
+
+import (
+	"fmt"
+	"testing"
+
+	"nicwarp/internal/runner"
+)
+
+// shardOpts mirrors detOpts: small enough that sweeping the whole registry
+// three times stays fast under -race, large enough that points roll back
+// and exchange real cross-node (and, sharded, cross-shard) traffic.
+var shardOpts = FigureOpts{Nodes: 4, Seed: 3, Scale: 0.01}
+
+// digestLine flattens a result batch to one digest per point, for exact
+// comparison across executions.
+func digestLine(t *testing.T, results []runner.Result) string {
+	t.Helper()
+	if err := runner.FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	s := ""
+	for i := range results {
+		s += fmt.Sprintf("%s=%016x\n", results[i].Job.Name, results[i].Res.Digest)
+	}
+	return s
+}
+
+// renderTable renders an experiment's table from a result batch.
+func renderTable(t *testing.T, exp Experiment, results []runner.Result) string {
+	t.Helper()
+	tbl, err := exp.Render(shardOpts, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl.String() + "\n" + tbl.CSV()
+}
+
+// TestShardedRegistryIdentity is the suite-wide sharded-execution
+// contract: every registry experiment — the four figures and every
+// ablation — run at 2 and 4 shards must produce byte-identical tables and
+// per-point committed digests to the serial run, and a cache warmed by the
+// serial run must serve a sharded runner without executing a single point
+// (the shard count never reaches the cache key).
+func TestShardedRegistryIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-execution sweep comparison")
+	}
+	for _, exp := range Experiments() {
+		exp := exp
+		t.Run(exp.Name, func(t *testing.T) {
+			t.Parallel()
+			jobs := exp.Jobs(shardOpts)
+			cache := runner.NewMemCache()
+			serialResults := (&runner.Runner{Workers: 2, Cache: cache}).Run(jobs)
+			serialTable := renderTable(t, exp, serialResults)
+			serialDigests := digestLine(t, serialResults)
+
+			for _, shards := range []int{2, 4} {
+				// Cold sharded execution: everything recomputed, nothing
+				// may differ.
+				cold := (&runner.Runner{Workers: 2, Exec: Exec{Shards: shards}}).Run(exp.Jobs(shardOpts))
+				if got := digestLine(t, cold); got != serialDigests {
+					t.Errorf("shards=%d: digests differ from serial:\n--- serial ---\n%s--- sharded ---\n%s",
+						shards, serialDigests, got)
+				}
+				if got := renderTable(t, exp, cold); got != serialTable {
+					t.Errorf("shards=%d: table differs from serial:\n--- serial ---\n%s--- sharded ---\n%s",
+						shards, serialTable, got)
+				}
+
+				// Warm replay through the serial run's cache: zero
+				// executions, identical rendering.
+				warm := (&runner.Runner{Workers: 2, Cache: cache, Exec: Exec{Shards: shards}}).Run(jobs)
+				if got := runner.CachedCount(warm); got != len(jobs) {
+					t.Errorf("shards=%d: warm replay executed %d of %d points", shards, len(jobs)-got, len(jobs))
+				}
+				if got := renderTable(t, exp, warm); got != serialTable {
+					t.Errorf("shards=%d: cache-warm table differs from serial", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestRunOptionsDigestInvariance is the table-driven regression test for
+// the execution-strategy contract of the options surface: no combination
+// of WithShards and WithMeter may change the config digest (the cache
+// key), the committed digest, or any reported counter of a run.
+func TestRunOptionsDigestInvariance(t *testing.T) {
+	cfg := Config{
+		App:       PHOLD(PHOLDParams{Objects: 16, Population: 1, Hops: 50, MeanDelay: 35, Locality: 0.25}),
+		Nodes:     4,
+		Seed:      9,
+		GVT:       GVTNIC,
+		GVTPeriod: 40,
+	}
+	key := cfg.Digest()
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A deterministic meter clock: WithMeter must observe the run without
+	// perturbing it.
+	tick := int64(0)
+	meter := &Meter{Now: func() int64 { tick += 1000; return tick }}
+	var metered []MeterPoint
+	sink := func(p MeterPoint) { metered = append(metered, p) }
+
+	cases := []struct {
+		name string
+		opts []RunOption
+	}{
+		{"no options", nil},
+		{"shards=1", []RunOption{WithShards(1)}},
+		{"shards=2", []RunOption{WithShards(2)}},
+		{"shards=4", []RunOption{WithShards(4)}},
+		{"shards beyond nodes", []RunOption{WithShards(64)}},
+		{"meter", []RunOption{WithMeter(meter, "m", sink)}},
+		{"shards=4 with meter", []RunOption{WithShards(4), WithMeter(meter, "sm", sink)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Run(cfg, c.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := cfg.Digest(); got != key {
+				t.Fatalf("config digest changed: %s != %s", got, key)
+			}
+			if res.Digest != ref.Digest {
+				t.Errorf("committed digest %016x != reference %016x", res.Digest, ref.Digest)
+			}
+			if got, want := res.String(), ref.String(); got != want {
+				t.Errorf("result differs from reference:\n--- reference ---\n%s--- got ---\n%s", want, got)
+			}
+		})
+	}
+	if len(metered) != 2 {
+		t.Fatalf("meter sink observed %d points, want 2", len(metered))
+	}
+	for _, p := range metered {
+		if p.NsPerRun <= 0 {
+			t.Errorf("meter point %s has no elapsed time", p.Name)
+		}
+	}
+}
+
+// TestWithFaultPlanEquivalentToConfigFault asserts the option is sugar for
+// the Config.Fault field — same plan, same run — and that, being a model
+// parameter, it does change the config digest.
+func TestWithFaultPlanEquivalentToConfigFault(t *testing.T) {
+	base := Config{
+		App:       PHOLD(PHOLDParams{Objects: 16, Population: 1, Hops: 50, MeanDelay: 35, Locality: 0.25}),
+		Nodes:     4,
+		Seed:      9,
+		GVT:       GVTNIC,
+		GVTPeriod: 40,
+	}
+	plan, err := FaultScenario("drop", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOption, err := Run(base, WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Fault = plan
+	viaField, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaOption.String() != viaField.String() || viaOption.Digest != viaField.Digest {
+		t.Errorf("WithFaultPlan run differs from Config.Fault run")
+	}
+	if viaOption.FaultsInjected == 0 {
+		t.Errorf("fault plan injected nothing; the option did not reach the run")
+	}
+	if cfg.Digest() == base.Digest() {
+		t.Errorf("fault plan is a model parameter but did not change the digest")
+	}
+}

@@ -34,9 +34,11 @@
 // or allocs/op regressed past -gate-time-pct / -gate-allocs-pct.
 //
 // With -benchqueue FILE the scheduler-queue microbenchmarks
-// (internal/queuebench) and the sharded single-run figure points (Figure 4
-// and Figure 6a, serial vs four shards) run programmatically and their
-// samples are written to FILE (results/BENCH_queue.json in CI). On machines
+// (internal/queuebench), the sharded single-run figure points (Figure 4
+// and Figure 6a, serial vs four shards) and the GVT-convergence points
+// (ring vs tree NIC GVT on the fat tree at 64 and 256 nodes, wall and
+// modeled latency) run programmatically and their samples are written to
+// FILE (results/BENCH_queue.json in CI). On machines
 // with at least four CPUs the sharded pairs must show a speedup above 1.0x;
 // on smaller machines the ratio is reported but not asserted. -benchbase
 // BASELINE additionally compares the fresh samples against a committed
@@ -61,6 +63,7 @@ import (
 	"nicwarp/internal/perfbench"
 	"nicwarp/internal/queuebench"
 	"nicwarp/internal/runner"
+	"nicwarp/internal/simnet"
 	"nicwarp/internal/stats"
 	"nicwarp/internal/stress"
 )
@@ -80,6 +83,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "experiment seed")
 		nodes      = flag.Int("nodes", 8, "cluster size")
 		only       = flag.String("only", "", "comma-separated experiment subset (see -list); alias: ablations")
+		topo       = cliopt.Topology(flag.CommandLine)
 		shards     = cliopt.Shards(flag.CommandLine)
 		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel experiment points (1 = serial)")
 		cache      = flag.Bool("cache", false, "persist results under <out>/cache keyed on config digest")
@@ -161,7 +165,7 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	opts := nicwarp.FigureOpts{Nodes: *nodes, Seed: *seed, Scale: *scale, Shards: *shards}
+	opts := nicwarp.FigureOpts{Nodes: *nodes, Seed: *seed, Scale: *scale, Shards: *shards, Topology: *topo}
 
 	// Expand every selected experiment into one flat batch so small
 	// ablations ride along with the big sweeps and the pool never idles.
@@ -174,7 +178,8 @@ func main() {
 		spans = append(spans, span{exp, len(jobs), len(jobs) + len(js)})
 		jobs = append(jobs, js...)
 	}
-	fmt.Printf("%d experiments, %d points, %d workers\n", len(spans), len(jobs), *workers)
+	fmt.Printf("%d experiments, %d points, %d workers, topo=%v, %d nodes, seed %d\n",
+		len(spans), len(jobs), *workers, opts.Topology, opts.Nodes, opts.Seed)
 
 	if *benchpoint != "" {
 		if err := runBenchPoint(*benchpoint, *benchcmp, opts, jobs); err != nil {
@@ -554,6 +559,43 @@ func checkShardSpeedup(samples map[string]perfbench.BenchSample) error {
 	return nil
 }
 
+// convBenchCases are the GVT-convergence regression points: ring and tree
+// NIC GVT on the fat tree, at the two node counts CI can afford. Each case
+// contributes two samples — <name>/wall (measured wall time per run) and
+// <name>/virt (the modeled mean initiate-to-commit latency, in
+// model-nanoseconds, which is deterministic) — and both gate time-only,
+// like the Shard/ full-run samples.
+func convBenchCases() []struct {
+	Name string
+	Cfg  nicwarp.Config
+} {
+	net := simnet.DefaultConfig()
+	net.Topology = simnet.TopoFatTree
+	var cases []struct {
+		Name string
+		Cfg  nicwarp.Config
+	}
+	for _, n := range []int{64, 256} {
+		for _, mode := range []nicwarp.GVTMode{nicwarp.GVTNIC, nicwarp.GVTNICTree} {
+			cases = append(cases, struct {
+				Name string
+				Cfg  nicwarp.Config
+			}{
+				Name: fmt.Sprintf("GVTConvergence/%v/%d/%v", net.Topology, n, mode),
+				Cfg: nicwarp.Config{
+					App:       nicwarp.PHOLD(nicwarp.PHOLDParams{Objects: 2 * n, Population: 1, Hops: 30, MeanDelay: 50, Locality: 0.2}),
+					Nodes:     n,
+					Seed:      1,
+					GVT:       mode,
+					GVTPeriod: 100,
+					Net:       net,
+				},
+			})
+		}
+	}
+	return cases
+}
+
 // runBenchQueue runs the scheduler-queue microbenchmarks and the sharded
 // single-run figure points programmatically, writes their samples, and —
 // given a committed baseline — prints the comparison table and applies the
@@ -588,6 +630,25 @@ func runBenchQueue(path, basePath string, maxDepth int, timePct, allocsPct float
 			}
 		}))
 	}
+	convCases := convBenchCases()
+	for i, c := range convCases {
+		c := c
+		step(fmt.Sprintf("benchqueue [%2d/%2d] %s", i+1, len(convCases), c.Name))
+		var res *nicwarp.Result
+		record(c.Name+"/wall", testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				if res, err = nicwarp.Run(c.Cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		// The modeled convergence latency is deterministic, so any run's
+		// result stands for all of them.
+		samples[c.Name+"/virt"] = perfbench.BenchSample{NsPerOp: float64(res.GVTConvAvg())}
+		fmt.Printf("  modeled convergence: avg %v, max %v over %d computations\n",
+			res.GVTConvAvg(), res.GVTConvMax, res.GVTConvCount)
+	}
 	qf := perfbench.QueueFile{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -618,13 +679,14 @@ func runBenchQueue(path, basePath string, maxDepth int, timePct, allocsPct float
 	}
 	cmps := perfbench.Compare(base.Samples, samples)
 	fmt.Print(perfbench.FormatComparisons(cmps))
-	// The queue mixes gate on both metrics. The Shard/ full-run samples
-	// gate on time only: the inline (single-processor) and parallel window
-	// paths allocate differently, so allocs/op is not comparable between a
-	// baseline and a runner with a different core count.
+	// The queue mixes gate on both metrics. The Shard/ and GVTConvergence/
+	// full-run samples gate on time only: the inline (single-processor) and
+	// parallel window paths allocate differently, so allocs/op is not
+	// comparable between a baseline and a runner with a different core
+	// count (and the /virt samples carry no allocation data at all).
 	var queueCmps, shardCmps []perfbench.BenchComparison
 	for _, c := range cmps {
-		if strings.HasPrefix(c.Name, "Shard/") {
+		if strings.HasPrefix(c.Name, "Shard/") || strings.HasPrefix(c.Name, "GVTConvergence/") {
 			shardCmps = append(shardCmps, c)
 		} else {
 			queueCmps = append(queueCmps, c)

@@ -19,6 +19,7 @@ import (
 	"nicwarp"
 	"nicwarp/internal/cliopt"
 	"nicwarp/internal/core"
+	"nicwarp/internal/simnet"
 	"nicwarp/internal/vtime"
 )
 
@@ -41,6 +42,8 @@ func main() {
 		nodes    = flag.Int("nodes", 8, "cluster size (LPs)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		gvtMode  = cliopt.GVT(flag.CommandLine, core.GVTHostMattern)
+		topo     = cliopt.Topology(flag.CommandLine)
+		radix    = cliopt.Radix(flag.CommandLine)
 		shards   = cliopt.Shards(flag.CommandLine)
 		period   = flag.Int("period", 1000, "GVT period (GVT_COUNT)")
 		cancel   = flag.Bool("cancel", false, "enable NIC early cancellation")
@@ -64,6 +67,13 @@ func main() {
 	}
 	if *samples {
 		cfg.SampleEvery = 10 * vtime.Millisecond
+	}
+	if *topo != simnet.TopoCrossbar || *radix != 0 {
+		// Start from the full fabric defaults: a partially-filled Net would
+		// suppress WithDefaults' zero-struct check and zero the bandwidth.
+		cfg.Net = simnet.DefaultConfig()
+		cfg.Net.Topology = *topo
+		cfg.Net.Radix = *radix
 	}
 	if *lazy {
 		cfg.Cancellation = nicwarp.Lazy
@@ -97,8 +107,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "run failed:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("app=%s nodes=%d gvt=%v period=%d cancel=%v seed=%d\n",
-		*app, *nodes, cfg.GVT, *period, *cancel, *seed)
+	fmt.Printf("app=%s nodes=%d topo=%v gvt=%v period=%d cancel=%v seed=%d\n",
+		*app, *nodes, *topo, cfg.GVT, *period, *cancel, *seed)
 	fmt.Print(res)
 	if *samples {
 		fmt.Println("\ntime series:")

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"nicwarp/internal/cliopt"
+	"nicwarp/internal/core"
 	"nicwarp/internal/fault"
 	"nicwarp/internal/runner"
 	"nicwarp/internal/stress"
@@ -37,6 +38,8 @@ func main() {
 		seeds     = flag.String("seeds", "1,2,3,4", "comma-separated fault seeds")
 		nodes     = flag.Int("nodes", 4, "cluster size")
 		scale     = flag.Float64("scale", 1.0, "workload scale")
+		gvtMode   = cliopt.GVT(flag.CommandLine, core.GVTNIC)
+		topo      = cliopt.Topology(flag.CommandLine)
 		shards    = cliopt.Shards(flag.CommandLine)
 		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel points (1 = serial)")
 		cacheDir  = flag.String("cache", "", "persist point results under this directory keyed on config digest")
@@ -61,6 +64,8 @@ func main() {
 		Scenarios: scenarioList(*scenarios),
 		Nodes:     *nodes,
 		Scale:     *scale,
+		GVT:       *gvtMode,
+		Topology:  *topo,
 		Shards:    *shards,
 		Workers:   *workers,
 		Verify:    *verify,

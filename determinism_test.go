@@ -78,10 +78,10 @@ func TestParallelAndCachedRunsMatchSerial(t *testing.T) {
 // every ablation, resolves each name, and rejects unknown names with a
 // listing.
 func TestRegistryCoversSuite(t *testing.T) {
-	want := []string{"fig4", "fig5", "fig6", "fig78",
+	want := []string{"fig4", "fig5", "fig6", "fig78", "figscale",
 		"abl-nic-speed", "abl-drop-buffer", "abl-cancel-policy",
-		"abl-gvt-algorithms", "abl-rx-buffer", "abl-stress-faults",
-		"abl-piggyback-patience"}
+		"abl-gvt-algorithms", "abl-rx-buffer", "abl-gvt-tree",
+		"abl-stress-faults", "abl-piggyback-patience"}
 	got := ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), got)

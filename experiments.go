@@ -5,6 +5,7 @@ import (
 
 	"nicwarp/internal/fault"
 	"nicwarp/internal/runner"
+	"nicwarp/internal/simnet"
 	"nicwarp/internal/stats"
 	"nicwarp/internal/vtime"
 )
@@ -26,6 +27,12 @@ type FigureOpts struct {
 	// which is why it rides on the runner (runner.Runner.Exec) rather than
 	// in the job configs, and never reaches the cache key.
 	Shards int
+	// Topology selects the interconnect model for every experiment point;
+	// the zero value is the crossbar the paper measured on, which keeps the
+	// default figure digests identical to configs that predate the field.
+	// The scaling experiment ("figscale") defaults to the fat tree instead:
+	// a 1024-port crossbar is not a buildable switch.
+	Topology Topology
 }
 
 func (o FigureOpts) withDefaults() FigureOpts {
@@ -47,6 +54,31 @@ func (o FigureOpts) scaled(n int) int {
 		v = 1
 	}
 	return v
+}
+
+// netFor builds the Config.Net for the opts topology: the zero value for
+// the crossbar (WithDefaults fills the fabric timing, keeping crossbar
+// digests identical to configs that predate the topology field), the full
+// fabric defaults plus the topology otherwise.
+func netFor(o FigureOpts) simnet.Config {
+	if o.Topology == TopoCrossbar {
+		return simnet.Config{}
+	}
+	net := simnet.DefaultConfig()
+	net.Topology = o.Topology
+	return net
+}
+
+// scaleNet is netFor with the fat tree as the fallback instead of the
+// crossbar: the scaling experiment sweeps to 1024 nodes, where a
+// single-stage crossbar stops being a credible switch.
+func scaleNet(o FigureOpts) simnet.Config {
+	net := simnet.DefaultConfig()
+	net.Topology = o.Topology
+	if net.Topology == TopoCrossbar {
+		net.Topology = TopoFatTree
+	}
+	return net
 }
 
 // GVTPeriods is the GVT_COUNT sweep used by Figures 4 and 5 (the paper
@@ -111,6 +143,7 @@ func gvtSweepJobs(prefix string, app func() App, opts FigureOpts) []runner.Job {
 					Seed:      opts.Seed,
 					GVT:       mode,
 					GVTPeriod: period,
+					Net:       netFor(opts),
 				},
 			})
 		}
@@ -148,6 +181,120 @@ func foldGVTRows(results []runner.Result) ([]GVTRow, error) {
 	return rows, nil
 }
 
+// ScaleNodeCounts is the node axis of the scaling experiment ("figscale"),
+// truncated by Scale so smoke runs (CI sweeps the registry at -scale 0.05)
+// never pay for the large points: full scale reaches 1024 nodes, quarter
+// scale 256, anything smaller stops at 64.
+func ScaleNodeCounts(o FigureOpts) []int {
+	switch {
+	case o.Scale >= 1:
+		return []int{8, 64, 256, 1024}
+	case o.Scale >= 0.25:
+		return []int{8, 64, 256}
+	default:
+		return []int{8, 64}
+	}
+}
+
+// scaleApp builds the scaling workload at node count n: PHOLD with a fixed
+// two objects per node, so per-node load stays constant while the cluster
+// (and with it the GVT reduction span) grows.
+func scaleApp(o FigureOpts, n int) App {
+	return PHOLD(PHOLDParams{Objects: 2 * n, Population: 1, Hops: o.scaled(30), MeanDelay: 50, Locality: 0.2})
+}
+
+// scaleSweepJobs expands the scaling experiment: for each node count, a
+// ring NIC-GVT point then a tree NIC-GVT point, on the multi-stage fabric.
+func scaleSweepJobs(prefix string, opts FigureOpts) []runner.Job {
+	o := opts.withDefaults()
+	var jobs []runner.Job
+	for _, n := range ScaleNodeCounts(o) {
+		for _, mode := range []GVTMode{GVTNIC, GVTNICTree} {
+			jobs = append(jobs, runner.Job{
+				Name: fmt.Sprintf("%s/nodes=%d/%v", prefix, n, mode),
+				Config: Config{
+					App:       scaleApp(o, n),
+					Nodes:     n,
+					Seed:      o.Seed,
+					GVT:       mode,
+					GVTPeriod: 100,
+					Net:       scaleNet(o),
+				},
+			})
+		}
+	}
+	return jobs
+}
+
+// ScaleRow is one node count of the scaling sweep: the ring and tree GVT
+// reductions compared on execution time, GVT convergence latency (the
+// O(n)-hops vs O(log n)-hops headline), rounds and rollback depth.
+type ScaleRow struct {
+	Nodes       int
+	RingSec     float64
+	TreeSec     float64
+	RingConvUs  float64 // mean initiate-to-commit latency, microseconds
+	TreeConvUs  float64
+	RingRounds  int64
+	TreeRounds  int64
+	RingRbDepth float64 // mean events undone per rollback
+	TreeRbDepth float64
+}
+
+// foldScaleRows folds scaleSweepJobs results (ring/tree pairs per node
+// count) back into rows.
+func foldScaleRows(xs []int, results []runner.Result) ([]ScaleRow, error) {
+	if len(results) != 2*len(xs) {
+		return nil, fmt.Errorf("scale sweep: %d results for %d node counts", len(results), len(xs))
+	}
+	var rows []ScaleRow
+	for i, n := range xs {
+		ring, tree := results[2*i], results[2*i+1]
+		if ring.Err != nil {
+			return nil, ring.Err
+		}
+		if tree.Err != nil {
+			return nil, tree.Err
+		}
+		rows = append(rows, ScaleRow{
+			Nodes:       n,
+			RingSec:     ring.Res.ExecTime.Seconds(),
+			TreeSec:     tree.Res.ExecTime.Seconds(),
+			RingConvUs:  float64(ring.Res.GVTConvAvg()) / 1e3,
+			TreeConvUs:  float64(tree.Res.GVTConvAvg()) / 1e3,
+			RingRounds:  ring.Res.GVTRounds,
+			TreeRounds:  tree.Res.GVTRounds,
+			RingRbDepth: ring.Res.RollbackDepth(),
+			TreeRbDepth: tree.Res.RollbackDepth(),
+		})
+	}
+	return rows, nil
+}
+
+// ScaleTable renders the scaling sweep. Node counts span three orders of
+// magnitude, so the numeric columns are right-aligned (the committed
+// crossbar tables keep their historical left alignment).
+func ScaleTable(rows []ScaleRow) *stats.Table {
+	t := stats.NewTable("nodes", "ring_sec", "tree_sec", "ring_conv_us", "tree_conv_us",
+		"ring_rounds", "tree_rounds", "ring_rb_depth", "tree_rb_depth").AlignRight()
+	for _, r := range rows {
+		t.AddRow(r.Nodes, r.RingSec, r.TreeSec, r.RingConvUs, r.TreeConvUs,
+			r.RingRounds, r.TreeRounds, r.RingRbDepth, r.TreeRbDepth)
+	}
+	return t
+}
+
+// FigureScale runs the large-N scaling experiment: ring vs tree NIC GVT
+// over the node-count axis on the multi-stage fabric. It is a thin wrapper
+// over the "figscale" registry entry.
+func FigureScale(opts FigureOpts) ([]ScaleRow, error) {
+	results, err := figureResults("figscale", opts)
+	if err != nil {
+		return nil, err
+	}
+	return foldScaleRows(ScaleNodeCounts(opts.withDefaults()), results)
+}
+
 // cancelSweepJobs expands one application family across an x-axis with
 // early cancellation off and on: for each x, a baseline point then a
 // cancellation point.
@@ -169,6 +316,7 @@ func cancelSweepJobs(prefix string, app func(x int) App, xs []int, opts FigureOp
 					GVT:         GVTHostMattern,
 					GVTPeriod:   1000,
 					EarlyCancel: cancel,
+					Net:         netFor(opts),
 				},
 			})
 		}
@@ -509,6 +657,35 @@ func ablationDefs() []ablationDef {
 				return map[string]float64{
 					"dropRatePct": res.NICDropRate(),
 					"dropped":     float64(res.DroppedInPlace),
+				}
+			},
+		},
+		{
+			name:        "abl-gvt-tree",
+			output:      "ablation_gvt_tree",
+			description: "Ablation: ring vs tree NIC GVT reduction at one node count (fat-tree fabric)",
+			extras:      []string{"convUs", "rounds", "rbDepth", "computations"},
+			variants: func(o FigureOpts) []ablationVariant {
+				var vs []ablationVariant
+				for _, mode := range []GVTMode{GVTNIC, GVTNICTree} {
+					vs = append(vs, ablationVariant{mode.String(), Config{
+						App:             scaleApp(o, o.Nodes),
+						Nodes:           o.Nodes,
+						Seed:            o.Seed,
+						GVT:             mode,
+						GVTPeriod:       100,
+						CheckInvariants: true,
+						Net:             scaleNet(o),
+					}})
+				}
+				return vs
+			},
+			extract: func(res *Result) map[string]float64 {
+				return map[string]float64{
+					"convUs":       float64(res.GVTConvAvg()) / 1e3,
+					"rounds":       float64(res.GVTRounds),
+					"rbDepth":      res.RollbackDepth(),
+					"computations": float64(res.GVTComputations),
 				}
 			},
 		},

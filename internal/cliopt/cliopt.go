@@ -14,6 +14,7 @@ import (
 	"strconv"
 
 	"nicwarp/internal/core"
+	"nicwarp/internal/simnet"
 )
 
 // shardsValue adapts core.ParseShards to the flag.Value protocol.
@@ -27,6 +28,20 @@ func (v *shardsValue) Set(s string) error {
 		return err
 	}
 	*v = shardsValue(n)
+	return nil
+}
+
+// topoValue adapts core.ParseTopology to the flag.Value protocol.
+type topoValue simnet.Topology
+
+func (v *topoValue) String() string { return simnet.Topology(*v).String() }
+
+func (v *topoValue) Set(s string) error {
+	t, err := core.ParseTopology(s)
+	if err != nil {
+		return err
+	}
+	*v = topoValue(t)
 	return nil
 }
 
@@ -60,6 +75,22 @@ func Shards(fs *flag.FlagSet) *int {
 // core.ParseGVTMode field error listing the accepted names.
 func GVT(fs *flag.FlagSet, def core.GVTMode) *core.GVTMode {
 	v := gvtValue(def)
-	fs.Var(&v, "gvt", "GVT implementation: mattern, nic, pgvt")
+	fs.Var(&v, "gvt", "GVT implementation: mattern, nic, pgvt, tree")
 	return (*core.GVTMode)(&v)
+}
+
+// Topology registers the -topo flag on fs and returns the destination.
+// The default is the crossbar; unknown spellings fail flag parsing with
+// the core.ParseTopology field error listing the accepted names.
+func Topology(fs *flag.FlagSet) *simnet.Topology {
+	v := topoValue(simnet.TopoCrossbar)
+	fs.Var(&v, "topo", "interconnect topology: crossbar, fattree, dragonfly")
+	return (*simnet.Topology)(&v)
+}
+
+// Radix registers the -radix flag on fs and returns the destination. Zero
+// (the default) means the topology's default switch radix; it only matters
+// for the multi-stage topologies.
+func Radix(fs *flag.FlagSet) *int {
+	return fs.Int("radix", 0, "switch radix for multi-stage topologies (0 = default)")
 }

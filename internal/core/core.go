@@ -48,6 +48,11 @@ const (
 	// rejects ("we use Mattern's algorithm because it has a lower
 	// overhead").
 	GVTPGVT
+	// GVTNICTree is the tree-reduction variant of the NIC-level GVT: the
+	// NICs fold subtree partial sums up a static k-ary tree and broadcast
+	// the committed value back down, converging in O(log n) link hops
+	// instead of the ring's O(n) circulation (firmware.TreeGVTFirmware).
+	GVTNICTree
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +62,8 @@ func (m GVTMode) String() string {
 		return "nic-gvt"
 	case GVTPGVT:
 		return "pgvt"
+	case GVTNICTree:
+		return "nic-tree"
 	default:
 		return "mattern"
 	}
@@ -179,7 +186,7 @@ func (c Config) Validate() error {
 		return &FieldError{Field: "GVTPeriod", Value: c.GVTPeriod, Reason: "GVT period must be >= 1"}
 	}
 	switch c.GVT {
-	case GVTHostMattern, GVTNIC, GVTPGVT:
+	case GVTHostMattern, GVTNIC, GVTPGVT, GVTNICTree:
 	default:
 		return &FieldError{Field: "GVT", Value: int(c.GVT),
 			Reason: "unknown GVT mode (want " + strings.Join(GVTModeNames(), ", ") + ")"}
@@ -235,6 +242,15 @@ type node struct {
 	// the batch pushed when it was submitted — no per-step closure.
 	sendBatches [][]*timewarp.Event //nicwarp:owns in flight toward the NIC; events recycled after encoding
 	batchHead   int
+	// draining is the batch nodeSendBatch is currently encoding and
+	// drainFrom the first entry not yet handed to transmitEvent: the
+	// events a GVT report filled mid-batch (piggybacked on an earlier
+	// entry) would otherwise not see. emitted is the same visibility for
+	// the instant between ProcessOne and finishStep, where OnProcessed can
+	// initiate a GVT computation before the step's output is parked.
+	draining  []*timewarp.Event //nicwarp:owns outboundMin-scoped alias of the batch being encoded; nilled before RecycleRemoteBuf
+	drainFrom int
+	emitted   []*timewarp.Event //nicwarp:owns outboundMin-scoped alias of step output; nilled before finishStep parks the events
 	// inbox pairs inbound packets with their rx-slot release callbacks for
 	// the DMA + absorb pipeline (same FIFO-completion argument: the bus and
 	// the CPU each preserve submission order).
@@ -277,9 +293,11 @@ type inboundPkt struct {
 // view adapts a node to gvt.Host.
 type view struct{ n *node }
 
-func (v view) LP() int          { return v.n.id }
-func (v view) NumLPs() int      { return len(v.n.cluster.nodes) }
-func (v view) LVT() vtime.VTime { return v.n.kernel.LVT() }
+func (v view) LP() int     { return v.n.id }
+func (v view) NumLPs() int { return len(v.n.cluster.nodes) }
+
+func (v view) LVT() vtime.VTime         { return v.n.kernel.LVT() }
+func (v view) OutboundMin() vtime.VTime { return v.n.outboundMin() }
 func (v view) CommitGVT(g vtime.VTime) {
 	v.n.commitGVT(g)
 }
@@ -302,6 +320,7 @@ func (v view) RingDoorbell() {
 func (v view) Schedule(d vtime.ModelTime, fn func(interface{}), arg interface{}) des.TimerRef {
 	return v.n.eng.ScheduleArgRef(d, fn, arg)
 }
+func (v view) Now() vtime.ModelTime { return v.n.eng.Now() }
 
 // Cluster is an assembled experiment.
 type Cluster struct {
@@ -320,8 +339,9 @@ type Cluster struct {
 	home   map[timewarp.ObjectID]int
 	objIDs []timewarp.ObjectID // global ascending order
 
-	gvtFW    []*firmware.GVTFirmware    // per node, when GVTNIC
-	cancelFW []*firmware.CancelFirmware // per node, when EarlyCancel
+	gvtFW    []*firmware.GVTFirmware     // per node, when GVTNIC
+	treeFW   []*firmware.TreeGVTFirmware // per node, when GVTNICTree
+	cancelFW []*firmware.CancelFirmware  // per node, when EarlyCancel
 
 	plane   *fault.Plane       // fault-injection plane, when cfg.Fault is set
 	checker *invariant.Checker // protocol oracles, when cfg.CheckInvariants
@@ -385,6 +405,7 @@ func NewClusterExec(cfg Config, ex Exec) (*Cluster, error) {
 	}
 	cl.fabric = simnet.NewFabric(cfg.Net, cfg.Nodes)
 	cl.gvtFW = make([]*firmware.GVTFirmware, cfg.Nodes)
+	cl.treeFW = make([]*firmware.TreeGVTFirmware, cfg.Nodes)
 	cl.cancelFW = make([]*firmware.CancelFirmware, cfg.Nodes)
 
 	if cfg.Fault.Enabled() {
@@ -416,6 +437,11 @@ func NewClusterExec(cfg Config, ex Exec) (*Cluster, error) {
 			cl.gvtFW[i] = gf
 			parts = append(parts, gf)
 		}
+		if cfg.GVT == GVTNICTree {
+			tf := firmware.NewTreeGVT(treeArity(cfg))
+			cl.treeFW[i] = tf
+			parts = append(parts, tf)
+		}
 		var fw nic.Firmware
 		switch len(parts) {
 		case 0:
@@ -446,6 +472,12 @@ func NewClusterExec(cfg Config, ex Exec) (*Cluster, error) {
 			n.mgr = m
 		case GVTPGVT:
 			n.mgr = gvt.NewPGVT(cfg.GVTPeriod)
+		case GVTNICTree:
+			m := gvt.NewNICTreeGVT(cfg.GVTPeriod)
+			if cfg.GVTFallbackDelay > 0 {
+				m.FallbackDelay = cfg.GVTFallbackDelay
+			}
+			n.mgr = m
 		default:
 			return nil, fmt.Errorf("core: unknown GVT mode %d", cfg.GVT)
 		}
@@ -492,6 +524,16 @@ func NewClusterExec(cfg Config, ex Exec) (*Cluster, error) {
 		cl.nodes[lp].numObjects++
 	}
 	return cl, nil
+}
+
+// treeArity derives the GVT reduction-tree branching factor from the
+// fabric's stage radix, so the tree's shape follows the topology's natural
+// fan-out (firmware.DefaultTreeArity when the config does not set one).
+func treeArity(cfg Config) int {
+	if cfg.Net.Radix > 0 {
+		return cfg.Net.Radix
+	}
+	return firmware.DefaultTreeArity
 }
 
 // sortObjIDs sorts object IDs ascending (insertion sort; the slice is built
@@ -737,7 +779,13 @@ func nodePumpStep(x interface{}) {
 	}
 	res := n.kernel.ProcessOne()
 	n.cluster.noteProcessed()
+	// The step's remote sends are parked by finishStep; until then they are
+	// invisible to the kernel's LVT, so expose them to outboundMin across
+	// the OnProcessed hook (a root manager can initiate a GVT computation
+	// there and must bound them).
+	n.emitted = res.Remote
 	n.mgr.OnProcessed(view{n})
+	n.emitted = nil
 	n.finishStep(res, hostmodel.CatEvent)
 	n.pump()
 }
@@ -766,9 +814,16 @@ func (n *node) finishStep(res timewarp.StepResult, cat hostmodel.Category) {
 func nodeSendBatch(x interface{}) {
 	n := x.(*node)
 	batch := n.popBatch()
-	for _, ev := range batch {
+	// A GVT report can be piggybacked on any entry (OnSent fires inside
+	// transmitEvent); keep the not-yet-encoded tail visible to outboundMin
+	// so the report's floor covers it.
+	n.draining = batch
+	for i, ev := range batch {
+		n.drainFrom = i + 1
 		n.transmitEvent(ev)
 	}
+	n.draining = nil
+	n.drainFrom = 0
 	// Every event was recycled by transmitEvent; hand the backing array
 	// back too so the kernel's next remote emission reuses it.
 	n.kernel.RecycleRemoteBuf(batch)
@@ -934,6 +989,37 @@ func (n *node) pushOutbound(pkt *proto.Packet) {
 		n.outboxHead = 0
 	}
 	n.outbox = append(n.outbox, pkt)
+}
+
+// outboundMin returns the minimum send timestamp over every message the
+// kernel has emitted that has not yet reached the NIC's transmit-side GVT
+// accounting point: step output not yet parked (emitted), parked batches
+// (sendBatches), the tail of the batch being encoded (draining), packets
+// stalled in MPICH flow control, and packets DMAing toward the NIC
+// (outbox). The NIC covers its own transmit queue (firmware queuedSendMin);
+// past that, countSend and the receive ledger take over. Scanned only when
+// a GVT report is filled, never on the event hot path.
+func (n *node) outboundMin() vtime.VTime {
+	min := vtime.Infinity
+	for _, ev := range n.emitted {
+		min = vtime.MinV(min, ev.SendTS)
+	}
+	for _, batch := range n.sendBatches[n.batchHead:] {
+		for _, ev := range batch {
+			min = vtime.MinV(min, ev.SendTS)
+		}
+	}
+	if n.draining != nil {
+		for _, ev := range n.draining[n.drainFrom:] {
+			min = vtime.MinV(min, ev.SendTS)
+		}
+	}
+	for _, pkt := range n.outbox[n.outboxHead:] {
+		if pkt.IsEventLike() {
+			min = vtime.MinV(min, pkt.SendTS)
+		}
+	}
+	return vtime.MinV(min, n.flow.PendingMin())
 }
 
 // popOutbound removes and returns the oldest outbound packet.

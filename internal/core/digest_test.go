@@ -135,7 +135,7 @@ func TestDigestStable(t *testing.T) {
 // results/cache/.
 func TestDigestGolden(t *testing.T) {
 	cfg := Config{App: phold.New(phold.Params{Objects: 8, Population: 1, Hops: 40, MeanDelay: 50, Locality: 0.2}), Nodes: 4, Seed: 7}
-	const golden = "c395363a06756bbcb73f425f2d9ee0bedccbeb48a540a2000f1345542ab3516c"
+	const golden = "8f5c7951382386c4c07cbf6ca37196c5b3996b8ebf70351d62bd955f469783e3"
 	if got := cfg.Digest(); got != golden {
 		t.Fatalf("digest of the pinned config changed:\n got  %s\n want %s\n"+
 			"(expected only when Config's shape changes; update the constant and clear results/cache/)", got, golden)
@@ -177,6 +177,7 @@ func TestValidateFieldErrors(t *testing.T) {
 func TestParseGVTMode(t *testing.T) {
 	for name, want := range map[string]GVTMode{
 		"mattern": GVTHostMattern, "nic": GVTNIC, "nic-gvt": GVTNIC, "pgvt": GVTPGVT,
+		"tree": GVTNICTree, "nic-tree": GVTNICTree,
 	} {
 		got, err := ParseGVTMode(name)
 		if err != nil || got != want {
@@ -189,7 +190,7 @@ func TestParseGVTMode(t *testing.T) {
 		t.Fatalf("want GVT FieldError for unknown mode, got %v", err)
 	}
 	// Modes round-trip through their String form.
-	for _, m := range []GVTMode{GVTHostMattern, GVTNIC, GVTPGVT} {
+	for _, m := range []GVTMode{GVTHostMattern, GVTNIC, GVTPGVT, GVTNICTree} {
 		got, err := ParseGVTMode(m.String())
 		if err != nil || got != m {
 			t.Errorf("ParseGVTMode(%v.String()) = %v, %v", m, got, err)

@@ -59,6 +59,15 @@ type Result struct {
 	GVTDoorbells    int64       // handshake fallbacks
 	FinalGVT        vtime.VTime // highest committed GVT
 
+	// GVT convergence latency at the root (NIC ring/tree modes): model
+	// time from staging a computation to committing its value, summed and
+	// high-watered over GVTConvCount completed computations. The scaling
+	// of GVTConvAvg with the node count is the ring-vs-tree headline: the
+	// ring circulates in O(n) hops, the tree reduces in O(log n).
+	GVTConvTotal vtime.ModelTime
+	GVTConvMax   vtime.ModelTime
+	GVTConvCount int64
+
 	// Resource utilization (averaged over nodes).
 	HostUtil float64
 	BusUtil  float64
@@ -97,6 +106,24 @@ type Result struct {
 // this.
 func (r *Result) CancelledTotal() int64 {
 	return r.AntisBuilt + r.AntisSuppressed
+}
+
+// GVTConvAvg returns the mean GVT convergence latency at the root (zero
+// when no computation completed or the mode does not track convergence).
+func (r *Result) GVTConvAvg() vtime.ModelTime {
+	if r.GVTConvCount == 0 {
+		return 0
+	}
+	return r.GVTConvTotal / vtime.ModelTime(r.GVTConvCount)
+}
+
+// RollbackDepth returns the mean number of events undone per rollback
+// episode (zero when no rollback occurred).
+func (r *Result) RollbackDepth() float64 {
+	if r.Rollbacks == 0 {
+		return 0
+	}
+	return float64(r.RolledBackEvents) / float64(r.Rollbacks)
 }
 
 // NICDropRate returns DroppedInPlace / CancelledTotal in percent, Figure
@@ -163,6 +190,11 @@ func (cl *Cluster) collect() *Result {
 			r.GVTComputations += mgr.Stats.Computations.Value()
 			r.GVTPiggybacks += mgr.Stats.Piggybacks.Value()
 			r.GVTDoorbells += mgr.Stats.Doorbells.Value()
+			r.GVTConvTotal += mgr.ConvSum
+			r.GVTConvCount += mgr.ConvCount
+			if mgr.ConvMax > r.GVTConvMax {
+				r.GVTConvMax = mgr.ConvMax
+			}
 		case *gvt.PGVTManager:
 			r.GVTComputations += mgr.Stats.Computations.Value()
 			r.GVTRounds += mgr.Stats.Rounds.Value()
@@ -171,6 +203,10 @@ func (cl *Cluster) collect() *Result {
 		if fw := cl.gvtFW[i]; fw != nil {
 			r.GVTRounds += fw.RoundsAtRoot.Value()
 			r.GVTTokensOnNIC += fw.TokensForwarded.Value() + fw.TokensStarted.Value()
+		}
+		if fw := cl.treeFW[i]; fw != nil {
+			r.GVTRounds += fw.RoundsAtRoot.Value()
+			r.GVTTokensOnNIC += fw.StartsForwarded.Value() + fw.Reduces.Value() + fw.TokensStarted.Value()
 		}
 
 		r.HostUtil += n.cpu.UtilizationAt(end)

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"nicwarp/internal/simnet"
 )
 
 // FieldError reports one invalid Config field. It is the typed form of the
@@ -29,10 +31,12 @@ func (e *FieldError) Error() string {
 // gvtModeNames maps the CLI spellings to GVT modes. Keep in sync with
 // GVTMode.String, which these names round-trip through.
 var gvtModeNames = map[string]GVTMode{ //nicwarp:sharded init-only lookup table, never written after package init
-	"mattern": GVTHostMattern,
-	"nic":     GVTNIC,
-	"nic-gvt": GVTNIC,
-	"pgvt":    GVTPGVT,
+	"mattern":  GVTHostMattern,
+	"nic":      GVTNIC,
+	"nic-gvt":  GVTNIC,
+	"pgvt":     GVTPGVT,
+	"tree":     GVTNICTree,
+	"nic-tree": GVTNICTree,
 }
 
 // GVTModeNames returns the accepted -gvt spellings, sorted.
@@ -56,6 +60,22 @@ func ParseGVTMode(s string) (GVTMode, error) {
 		Value:  s,
 		Reason: "unknown GVT mode (want " + strings.Join(GVTModeNames(), ", ") + ")",
 	}
+}
+
+// ParseTopology resolves a CLI topology spelling ("crossbar", "fattree",
+// "dragonfly" and their aliases) to a simnet topology. Unknown names return
+// a *FieldError listing the accepted values, the same contract
+// ParseGVTMode has.
+func ParseTopology(s string) (simnet.Topology, error) {
+	t, err := simnet.ParseTopology(strings.ToLower(strings.TrimSpace(s)))
+	if err != nil {
+		return t, &FieldError{
+			Field:  "Net.Topology",
+			Value:  s,
+			Reason: "unknown topology (want " + strings.Join(simnet.TopologyNames(), ", ") + ")",
+		}
+	}
+	return t, nil
 }
 
 // ParseShards resolves a CLI shard-count spelling to an Exec shard count.

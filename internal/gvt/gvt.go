@@ -28,6 +28,16 @@ type Host interface {
 	NumLPs() int
 	// LVT returns the kernel's lower bound on future message timestamps.
 	LVT() vtime.VTime
+	// OutboundMin returns the minimum send timestamp over messages the
+	// kernel has emitted that have not yet reached the NIC's transmit-side
+	// GVT accounting point (parked send batches, flow-control stalls, the
+	// host→NIC DMA ring). The kernel's LVT does not cover them, and when
+	// their colour stamp predates the current computation neither does the
+	// white balance — a manager whose reports race outbound work must fold
+	// this in or risk committing past an in-flight message (the paper's
+	// "consistency is a major issue" lesson, one layer up). Infinity when
+	// nothing is pending.
+	OutboundMin() vtime.VTime
 	// CommitGVT installs a newly computed GVT value: fossil collection,
 	// statistics, termination detection.
 	CommitGVT(gvt vtime.VTime)
@@ -41,6 +51,9 @@ type Host interface {
 	// RingDoorbell pays the bus crossing and notifies the NIC that the
 	// shared window was updated (the no-outgoing-traffic fallback path).
 	RingDoorbell()
+	// Now returns the host's current model time; managers use it to
+	// measure GVT convergence latency (initiation to commit).
+	Now() vtime.ModelTime
 	// Schedule runs fn(arg) after a model-time delay; used for handshake
 	// fallback timers. fn must be a top-level function and arg a pointer
 	// threaded through as the receiver — the pair replaces a captured

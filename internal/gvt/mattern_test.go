@@ -26,9 +26,10 @@ type fakeHost struct {
 	committed []vtime.VTime
 }
 
-func (h *fakeHost) LP() int          { return h.lp }
-func (h *fakeHost) NumLPs() int      { return len(h.r.hosts) }
-func (h *fakeHost) LVT() vtime.VTime { return h.lvt }
+func (h *fakeHost) LP() int                  { return h.lp }
+func (h *fakeHost) NumLPs() int              { return len(h.r.hosts) }
+func (h *fakeHost) LVT() vtime.VTime         { return h.lvt }
+func (h *fakeHost) OutboundMin() vtime.VTime { return vtime.Infinity }
 func (h *fakeHost) CommitGVT(g vtime.VTime) {
 	h.committed = append(h.committed, g)
 }
@@ -37,6 +38,7 @@ func (h *fakeHost) SendControl(pkt *proto.Packet) {
 }
 func (h *fakeHost) Shared() *nic.SharedWindow { return nil }
 func (h *fakeHost) RingDoorbell()             { h.r.t.Fatal("mattern must not use the NIC") }
+func (h *fakeHost) Now() vtime.ModelTime      { return 0 }
 func (h *fakeHost) Schedule(d vtime.ModelTime, fn func(interface{}), arg interface{}) des.TimerRef {
 	return des.TimerRef{}
 }

@@ -37,11 +37,26 @@ type NICGVTManager struct {
 	pendingReport bool
 	fallback      des.TimerRef
 
+	// tree marks the host half of the tree-reduction variant. The host
+	// protocol is identical — root-driven initiation through the shared
+	// window, piggyback/doorbell handshake at every node — only the NIC
+	// firmware differs (ring circulation vs. tree reduce/broadcast), so
+	// one manager serves both and the flag exists for naming and stats
+	// attribution.
+	tree bool
+
 	// Root-only state.
 	inProgress bool
 	sinceGVT   int
 	compEpoch  uint32
 	lastGVT    vtime.VTime
+
+	// Root-only convergence tracking: model time from staging a
+	// computation to committing its value.
+	convStart vtime.ModelTime
+	ConvSum   vtime.ModelTime
+	ConvMax   vtime.ModelTime
+	ConvCount int64
 
 	Stats Stats
 }
@@ -62,8 +77,25 @@ func NewNICGVT(period int) *NICGVTManager {
 	}
 }
 
+// NewNICTreeGVT creates the host half of the tree-reduction NIC GVT. It is
+// the same host protocol as NewNICGVT; pair it with
+// firmware.TreeGVTFirmware instead of firmware.GVTFirmware.
+func NewNICTreeGVT(period int) *NICGVTManager {
+	m := NewNICGVT(period)
+	m.tree = true
+	return m
+}
+
+// Tree reports whether this is the tree-reduction variant.
+func (m *NICGVTManager) Tree() bool { return m.tree }
+
 // Name implements Manager.
-func (m *NICGVTManager) Name() string { return "nic-gvt" }
+func (m *NICGVTManager) Name() string {
+	if m.tree {
+		return "nic-tree-gvt"
+	}
+	return "nic-gvt"
+}
 
 // Start implements Manager: report the LP rank through the shared window,
 // as the paper's initialization does.
@@ -102,6 +134,7 @@ func (m *NICGVTManager) OnIdle(h Host) {
 // soon as the host's variables reach it.
 func (m *NICGVTManager) initiate(h Host) {
 	m.inProgress = true
+	m.convStart = h.Now()
 	m.sinceGVT = 0
 	m.compEpoch++
 	m.ledger.Join(m.compEpoch)
@@ -146,8 +179,16 @@ func fallbackDoorbell(x interface{}) {
 // fillReport computes the host's handshake values: T (LVT), Tmin (min red
 // send timestamp) and V (white receives not yet reported; the NIC subtracts
 // it from the token count and adds its own transmitted-white delta).
+//
+// T folds the outbound horizon: a report can be filled (piggyback or
+// doorbell) while messages the kernel already emitted are still parked,
+// credit-stalled or DMAing toward the NIC. Those carry send timestamps the
+// kernel's LVT no longer covers, and when white-stamped in an earlier
+// computation they are outside the token's count balance too — without the
+// fold a round can close with count == 0 over a low-timestamp message still
+// in the local stack, and the commit overshoots it.
 func (m *NICGVTManager) fillReport(h Host, t, tmin *vtime.VTime, v *int64) {
-	*t = h.LVT()
+	*t = vtime.MinV(h.LVT(), h.OutboundMin())
 	*tmin = m.ledger.MinRedSend()
 	*v = m.ledger.TakeRecvDelta()
 }
@@ -192,6 +233,14 @@ func (m *NICGVTManager) OnNotify(h Host, tag nic.NotifyTag) {
 		m.lastGVT = g
 		m.Stats.LastGVT.Set(int64(g))
 		if m.isRoot(h) {
+			if m.inProgress {
+				d := h.Now() - m.convStart
+				m.ConvSum += d
+				m.ConvCount++
+				if d > m.ConvMax {
+					m.ConvMax = d
+				}
+			}
 			m.inProgress = false
 			m.Stats.Computations.Inc()
 		}

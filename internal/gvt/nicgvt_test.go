@@ -34,10 +34,12 @@ func newNICHost(lp, n int) *nicHost {
 func (h *nicHost) LP() int                     { return h.lp }
 func (h *nicHost) NumLPs() int                 { return h.n }
 func (h *nicHost) LVT() vtime.VTime            { return h.lvt }
+func (h *nicHost) OutboundMin() vtime.VTime    { return vtime.Infinity }
 func (h *nicHost) CommitGVT(g vtime.VTime)     { h.committed = append(h.committed, g) }
 func (h *nicHost) SendControl(p *proto.Packet) { panic("nic-gvt must not send host control messages") }
 func (h *nicHost) Shared() *nic.SharedWindow   { return h.window }
 func (h *nicHost) RingDoorbell()               { h.doorbells++ }
+func (h *nicHost) Now() vtime.ModelTime        { return 0 }
 func (h *nicHost) Schedule(d vtime.ModelTime, fn func(interface{}), arg interface{}) des.TimerRef {
 	h.timers = append(h.timers, fakeTimer{fn: fn, arg: arg})
 	return des.TimerRef{}

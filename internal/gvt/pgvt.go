@@ -99,9 +99,12 @@ func (m *PGVTManager) Start(h Host) {}
 
 func (m *PGVTManager) isController(h Host) bool { return h.LP() == 0 }
 
-// bound returns this LP's GVT lower bound.
+// bound returns this LP's GVT lower bound. minUnacked covers sends from the
+// moment OnSent stamps them; OutboundMin covers the window before that —
+// emitted output the kernel's LVT no longer bounds that has not yet reached
+// the transmit path.
 func (m *PGVTManager) bound(h Host) vtime.VTime {
-	return vtime.MinV(h.LVT(), m.minUnacked())
+	return vtime.MinV(vtime.MinV(h.LVT(), h.OutboundMin()), m.minUnacked())
 }
 
 // minUnacked returns the smallest unacknowledged receive timestamp.

@@ -18,6 +18,7 @@ import (
 
 	"nicwarp/internal/proto"
 	"nicwarp/internal/stats"
+	"nicwarp/internal/vtime"
 )
 
 // Config holds flow-control parameters.
@@ -244,6 +245,24 @@ func (e *Endpoint) Refund(dst int32, n int) {
 
 // WaitingCount returns the number of packets buffered for credit.
 func (e *Endpoint) WaitingCount() int { return e.waitingTotal }
+
+// PendingMin returns the minimum send timestamp among event-like packets
+// waiting for credit. A packet can sit here across an entire GVT
+// computation: it is not yet in the NIC's transmitted-white count, so the
+// GVT report's floor must bound it (gvt.Host.LVT folds this in). Map
+// iteration order does not matter — min is order-independent.
+func (e *Endpoint) PendingMin() vtime.VTime {
+	min := vtime.Infinity
+	//nicwarp:ordered commutative fold: min over stalled send timestamps
+	for _, q := range e.waiting {
+		for _, pkt := range q {
+			if pkt.IsEventLike() {
+				min = vtime.MinV(min, pkt.SendTS)
+			}
+		}
+	}
+	return min
+}
 
 // Congested reports whether the send buffer is full: the next send would
 // block, so the caller should stall event processing until the backlog

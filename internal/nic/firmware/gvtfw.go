@@ -79,6 +79,25 @@ func (f *GVTFirmware) takeSentDelta() int64 {
 	return d
 }
 
+// queuedSendMin returns the minimum send timestamp over event-like packets
+// still waiting in the NIC transmit queue. countSend runs at dequeue, so a
+// packet stamped in an earlier computation that stays queued (stop/go
+// backpressure) across this entire computation is in neither the white
+// balance nor the host's red-send minimum; the reported floor must bound it.
+// Red-stamped packets re-fold harmlessly — their stamp-time fold into the
+// host ledger already bounds them.
+func queuedSendMin(api nic.API) vtime.VTime {
+	q := api.SendQueue()
+	api.Charge(int64(len(q)) * CyclesQueueScanPerPacket)
+	min := vtime.Infinity
+	for _, pkt := range q {
+		if pkt.IsEventLike() {
+			min = vtime.MinV(min, pkt.SendTS)
+		}
+	}
+	return min
+}
+
 // OnHostSend implements nic.Firmware: count white transmits and intercept
 // piggybacked host handshake values.
 func (f *GVTFirmware) OnHostSend(pkt *proto.Packet, api nic.API) nic.Verdict {
@@ -155,6 +174,7 @@ func (f *GVTFirmware) advance(api nic.API) {
 
 	count := w.TokenCount + f.takeSentDelta() - w.HostV
 	min := vtime.MinV(w.TokenMin, vtime.MinV(w.HostT, w.HostTMin))
+	min = vtime.MinV(min, queuedSendMin(api))
 	round := w.TokenRound
 	origin := w.TokenOrigin
 	epoch := w.TokenEpoch

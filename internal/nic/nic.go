@@ -70,10 +70,10 @@ func DefaultConfig() Config {
 }
 
 // gated reports whether a packet kind consumes a receive-buffer slot at the
-// destination. GVT tokens and broadcasts are consumed on the NIC itself and
-// never cross toward the host.
+// destination. GVT tokens, broadcasts and tree-reduce partials are consumed
+// on the NIC itself and never cross toward the host.
 func gated(k proto.Kind) bool {
-	return k != proto.KindGVTToken && k != proto.KindGVTBroadcast
+	return k != proto.KindGVTToken && k != proto.KindGVTBroadcast && k != proto.KindGVTReduce
 }
 
 // Verdict is a firmware decision about a packet.
@@ -309,18 +309,21 @@ func (n *NIC) Wire(deliverToHost func(pkt *proto.Packet, done func()), notifyHos
 
 // WirePeers supplies the NIC-to-NIC lookup used to address returning
 // flow-control credits, and opens the per-destination windows. The
-// receiver's buffer is shared by all its potential senders, so each
-// sender's static window is sized near its fair share — twice the share,
-// clamped to [1, RxQueueCap], approximating the multiplexing a shared
-// buffer gives bursty flows while keeping the aggregate a receiver can
-// see outstanding within a small factor of RxQueueCap. Must be called
-// before traffic flows, after every peer NIC exists.
+// receiver's buffer is shared by its *concurrent* senders, so each
+// sender's static window is sized near the fair share of the fabric's
+// last-stage fan-in — twice the share, clamped to [1, RxQueueCap],
+// approximating the multiplexing a shared buffer gives bursty flows while
+// keeping the aggregate a receiver can see outstanding within a small
+// factor of RxQueueCap. On the crossbar the fan-in is every other port; on
+// a multi-stage topology it is the final-stage switch radix, so windows
+// stay useful at 1024 nodes instead of collapsing to the 1/n fair share.
+// Must be called before traffic flows, after every peer NIC exists.
 func (n *NIC) WirePeers(peer func(node int) *NIC) {
 	if peer == nil {
 		panic("nic: WirePeers with nil lookup")
 	}
 	n.peer = peer
-	senders := n.fabric.NumPorts() - 1
+	senders := n.fabric.FanIn()
 	if senders < 1 {
 		senders = 1
 	}

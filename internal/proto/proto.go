@@ -44,6 +44,12 @@ const (
 	// other GVT algorithm WARPED implements). RecvTS carries the
 	// acknowledged receive timestamp.
 	KindAck
+	// KindGVTReduce carries one subtree's partial GVT reduction up the
+	// node tree (tree-mode GVT): the accumulated white-message balance and
+	// min of LVTs/red sends over the sender's whole subtree, folded NIC to
+	// NIC as in the Yu/Buntinas/Panda NIC-based collective protocols. Uses
+	// the token body fields.
+	KindGVTReduce
 	numKinds
 )
 
@@ -64,6 +70,8 @@ func (k Kind) String() string {
 		return "credit"
 	case KindAck:
 		return "ack"
+	case KindGVTReduce:
+		return "gvt-reduce"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -183,7 +191,7 @@ func (p *Packet) String() string {
 	case KindEvent, KindAnti:
 		return fmt.Sprintf("%s n%d->n%d obj%d->obj%d st=%v rt=%v id=%d",
 			p.Kind, p.SrcNode, p.DstNode, p.SrcObj, p.DstObj, p.SendTS, p.RecvTS, p.EventID)
-	case KindGVTToken:
+	case KindGVTToken, KindGVTReduce:
 		return fmt.Sprintf("%s n%d->n%d round=%d count=%d min=%v epoch=%d",
 			p.Kind, p.SrcNode, p.DstNode, p.TokenRound, p.TokenCount, p.TokenMin, p.TokenEpoch)
 	case KindGVTBroadcast:

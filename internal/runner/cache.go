@@ -81,7 +81,9 @@ type DiskCache struct {
 //	v2: fault-injection counters + invariant report added to core.Result
 //	v3: lane-keyed event ordering and the NIC credit window changed the
 //	    committed schedule (and Result) of every config
-const cacheSchema = "v3"
+//	v4: multi-stage topologies added fields to Config (every digest moved)
+//	    and convergence counters to core.Result
+const cacheSchema = "v4"
 
 // NewDiskCache opens (creating if needed) a disk cache rooted at dir.
 func NewDiskCache(dir string) (*DiskCache, error) {

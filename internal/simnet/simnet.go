@@ -34,6 +34,59 @@ import (
 	"nicwarp/internal/vtime"
 )
 
+// Topology selects the switching structure between the ports. The zero
+// value is the paper's single crossbar, so existing configurations (and
+// their digests' meaning) are unchanged.
+type Topology uint8
+
+const (
+	// TopoCrossbar is the paper's single contention-free switch: every
+	// pair of ports is one switch traversal apart.
+	TopoCrossbar Topology = iota
+	// TopoFatTree is a three-level folded-Clos fat-tree built from
+	// switches of Radix down-links: nodes sharing an edge switch are one
+	// hop apart, nodes sharing a pod (Radix edge switches) cross an
+	// aggregation stage, and inter-pod traffic crosses the core.
+	TopoFatTree
+	// TopoDragonfly is a dragonfly-lite: all-to-all wired groups of
+	// Radix nodes behind one router each; inter-group traffic takes a
+	// local exit hop plus one global link.
+	TopoDragonfly
+
+	numTopologies // sentinel
+)
+
+// String implements fmt.Stringer with the spellings ParseTopology accepts.
+func (t Topology) String() string {
+	switch t {
+	case TopoCrossbar:
+		return "crossbar"
+	case TopoFatTree:
+		return "fattree"
+	case TopoDragonfly:
+		return "dragonfly"
+	default:
+		return fmt.Sprintf("Topology(%d)", uint8(t))
+	}
+}
+
+// TopologyNames returns the accepted topology spellings, in enum order.
+func TopologyNames() []string { return []string{"crossbar", "fattree", "dragonfly"} }
+
+// ParseTopology resolves a topology name. It accepts the String spellings
+// plus the hyphenated aliases "fat-tree" and "dragonfly-lite".
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "crossbar", "":
+		return TopoCrossbar, nil
+	case "fattree", "fat-tree":
+		return TopoFatTree, nil
+	case "dragonfly", "dragonfly-lite":
+		return TopoDragonfly, nil
+	}
+	return TopoCrossbar, fmt.Errorf("simnet: unknown topology %q (valid: %v)", s, TopologyNames())
+}
+
 // Config holds fabric timing parameters.
 type Config struct {
 	// LinkBandwidth is the per-link bandwidth in bytes per second.
@@ -43,6 +96,109 @@ type Config struct {
 	// SwitchLatency is the fixed routing/arbitration delay inside the
 	// switch, per packet.
 	SwitchLatency vtime.ModelTime
+	// Topology selects the switching structure. The zero value models the
+	// paper's single crossbar; multi-stage topologies add deterministic
+	// per-stage latency and per-stage store-and-forward serialization on
+	// top of the crossbar path (see ExtraStages).
+	Topology Topology
+	// Radix is the stage radix of a multi-stage topology: down-links per
+	// edge switch for the fat-tree, nodes per group for the dragonfly.
+	// Zero picks DefaultRadix. Ignored by the crossbar.
+	Radix int
+}
+
+// DefaultRadix is the stage radix used when Config.Radix is zero: eight
+// matches the paper's switch and keeps an 8-node cluster inside a single
+// edge switch on every topology.
+const DefaultRadix = 8
+
+// radix returns the effective stage radix.
+func (c Config) radix() int {
+	if c.Radix <= 0 {
+		return DefaultRadix
+	}
+	return c.Radix
+}
+
+// ExtraStages returns the number of switching stages the src->dst path
+// crosses beyond the single crossbar traversal the base fabric model
+// already charges. Each extra stage costs one SwitchLatency, one
+// LinkLatency and one store-and-forward serialization of the packet (the
+// deterministic stand-in for interior contention; see the package comment
+// and DESIGN.md §12). The result depends only on (topology, radix, src,
+// dst), so the sender's engine can resolve the whole path at announce
+// time — the shard-safety contract of the fabric.
+func (c Config) ExtraStages(src, dst int) int {
+	switch c.Topology {
+	case TopoFatTree:
+		r := c.radix()
+		switch {
+		case src/r == dst/r: // same edge switch
+			return 0
+		case src/(r*r) == dst/(r*r): // same pod: edge-agg-edge
+			return 2
+		default: // inter-pod: edge-agg-core-agg-edge
+			return 4
+		}
+	case TopoDragonfly:
+		if src/c.radix() == dst/c.radix() { // same group router
+			return 0
+		}
+		return 2 // local exit hop + global link
+	default:
+		return 0
+	}
+}
+
+// MaxStages returns the worst-case ExtraStages over any port pair of an
+// n-port fabric: the pipeline depth the lookahead and window sizing must
+// absorb. Like MinTransitTime it is a pure function of the config.
+func (c Config) MaxStages(n int) int {
+	switch c.Topology {
+	case TopoFatTree:
+		r := c.radix()
+		switch {
+		case n <= r:
+			return 0
+		case n <= r*r:
+			return 2
+		default:
+			return 4
+		}
+	case TopoDragonfly:
+		if n <= c.radix() {
+			return 0
+		}
+		return 2
+	default:
+		return 0
+	}
+}
+
+// LastStageFanIn returns the number of sources whose minimal paths can
+// contend for one destination's last-hop link: the topology fan-in the
+// NIC's per-destination credit windows are sized from. On the crossbar
+// every other port contends; on a multi-stage topology the last hop is
+// fed by a single edge switch (fat-tree) or group router (dragonfly), so
+// the concurrent set is bounded by the stage radix rather than the
+// cluster size.
+func (c Config) LastStageFanIn(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	switch c.Topology {
+	case TopoFatTree, TopoDragonfly:
+		r := c.radix()
+		// The local peers behind the same edge switch/router plus one
+		// up-link feeding remote traffic in.
+		fan := r // r-1 local peers + 1 up-link
+		if fan > n-1 {
+			fan = n - 1
+		}
+		return fan
+	default:
+		return n - 1
+	}
 }
 
 // DefaultConfig returns parameters calibrated to the paper's cluster: a
@@ -137,6 +293,14 @@ func NewFabric(cfg Config, n int) *Fabric {
 
 // NumPorts returns the number of ports.
 func (f *Fabric) NumPorts() int { return len(f.ports) }
+
+// FanIn returns the topology's last-stage fan-in toward any one port (see
+// Config.LastStageFanIn): the number of senders the NICs size their
+// per-destination credit windows against.
+func (f *Fabric) FanIn() int { return f.cfg.LastStageFanIn(len(f.ports)) }
+
+// Topology returns the fabric's switching structure.
+func (f *Fabric) Topology() Topology { return f.cfg.Topology }
 
 // LinkBandwidth returns the per-link bandwidth in bytes per second, shared
 // with the NICs that drive the links.
@@ -236,6 +400,11 @@ func (f *Fabric) launch(srcPort, dstPort int, pkt *proto.Packet, depart vtime.Mo
 	// Propagation to the switch plus routing latency; then the packet
 	// contends for the destination output port on the destination engine.
 	at := depart + f.cfg.LinkLatency + f.cfg.SwitchLatency + extra
+	if stages := f.cfg.ExtraStages(srcPort, dstPort); stages > 0 {
+		perStage := f.cfg.LinkLatency + f.cfg.SwitchLatency +
+			vtime.TransferTime(pkt.EncodedSize(), f.cfg.LinkBandwidth)
+		at += vtime.ModelTime(stages) * perStage
+	}
 	src.eng.AtCross(dst.eng, dst.lane, at, portArrival, dst, pkt)
 }
 

@@ -161,13 +161,24 @@ func (h *Histogram) NumBuckets() int { return len(h.counts) }
 // Table renders aligned experiment output, mirroring the row/series layout
 // of the paper's figures so results can be compared by eye.
 type Table struct {
-	header []string
-	rows   [][]string
+	header     []string
+	rows       [][]string
+	rightAlign bool
 }
 
 // NewTable creates a table with the given column headers.
 func NewTable(header ...string) *Table {
 	return &Table{header: header}
+}
+
+// AlignRight switches every column after the first to right alignment,
+// which keeps numeric columns of very different magnitudes (8 vs 1024
+// nodes, microseconds vs seconds) comparable by eye. Opt-in: the default
+// left alignment is part of the byte format of every committed table, so
+// only new tables should call it. Returns the table for chaining.
+func (t *Table) AlignRight() *Table {
+	t.rightAlign = true
+	return t
 }
 
 // AddRow appends a row; values are formatted with %v.
@@ -203,7 +214,11 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			if t.rightAlign && i > 0 {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
 		}
 		b.WriteByte('\n')
 	}

@@ -23,6 +23,7 @@ import (
 	"nicwarp/internal/core"
 	"nicwarp/internal/fault"
 	"nicwarp/internal/runner"
+	"nicwarp/internal/simnet"
 )
 
 // Options selects the sweep matrix. The zero value sweeps every
@@ -40,6 +41,14 @@ type Options struct {
 	Nodes int
 	// Scale multiplies workload sizes; 0 means 1.
 	Scale float64
+	// GVT selects the GVT implementation for every point; the zero value
+	// means the paper's NIC ring GVT (core.GVTNIC). The host Mattern mode
+	// is core.GVTMode's zero value and therefore not selectable here — the
+	// stress matrix exists to exercise the NIC-resident protocols.
+	GVT core.GVTMode
+	// Topology selects the interconnect model; the zero value is the
+	// crossbar.
+	Topology simnet.Topology
 	// Shards is the per-point shard count; 0 or 1 means serial. Execution
 	// strategy only: every judgement (digests, oracles, baselines) is
 	// identical at any value, so a sharded sweep crossing the fault plane
@@ -76,7 +85,22 @@ func (o Options) withDefaults() Options {
 	if o.Scale == 0 {
 		o.Scale = 1
 	}
+	if o.GVT == 0 {
+		o.GVT = core.GVTNIC
+	}
 	return o
+}
+
+// net builds the Config.Net for the options topology: the zero value for
+// the crossbar (core.Config.WithDefaults fills the fabric timing), the
+// full fabric defaults plus the topology otherwise.
+func (o Options) net() simnet.Config {
+	if o.Topology == simnet.TopoCrossbar {
+		return simnet.Config{}
+	}
+	net := simnet.DefaultConfig()
+	net.Topology = o.Topology
+	return net
 }
 
 // AppNames returns the stress workload names, in sweep order.
@@ -126,12 +150,13 @@ func PointConfig(app string, o Options, scenario string, seed uint64) (core.Conf
 		App:             a,
 		Nodes:           o.Nodes,
 		Seed:            7,
-		GVT:             core.GVTNIC,
+		GVT:             o.GVT,
 		GVTPeriod:       50,
 		EarlyCancel:     true,
 		VerifyOracle:    o.Verify,
 		CheckInvariants: true,
 		Fault:           plan,
+		Net:             o.net(),
 	}, nil
 }
 
@@ -169,6 +194,8 @@ type Report struct {
 	Seeds     []uint64 `json:"seeds"`
 	Nodes     int      `json:"nodes"`
 	Scale     float64  `json:"scale"`
+	GVT       string   `json:"gvt"`
+	Topology  string   `json:"topology"`
 	Points    []Point  `json:"points"`
 	Failures  int      `json:"failures"`
 }
@@ -225,6 +252,7 @@ func Sweep(o Options) (*Report, error) {
 	rep := &Report{
 		Apps: o.Apps, Scenarios: o.Scenarios, Seeds: o.Seeds,
 		Nodes: o.Nodes, Scale: o.Scale,
+		GVT: o.GVT.String(), Topology: o.Topology.String(),
 	}
 	baseline := "" // fault-free digest of the current app, in slot order
 	for i, res := range results {
@@ -322,7 +350,7 @@ func (o Options) shrink(app, scenario string, seed uint64) string {
 		}
 		cur = trial
 	}
-	return Repro(app, scenario, seed, cur.Nodes, cur.Scale)
+	return cur.Repro(app, scenario, seed)
 }
 
 // pointFails re-runs one candidate point (and, for loss-free scenarios,
@@ -351,8 +379,18 @@ func (o Options) pointFails(app, scenario string, seed uint64) bool {
 	return !judge(res, app, scenario, seed, baseline).Pass
 }
 
-// Repro formats the single-line reproduction command for a point.
-func Repro(app, scenario string, seed uint64, nodes int, scale float64) string {
-	return fmt.Sprintf("go run ./cmd/stress -apps %s -scenarios %s -seeds %d -nodes %d -scale %g",
-		app, scenario, seed, nodes, scale)
+// Repro formats the single-line reproduction command for a point,
+// including the GVT mode and topology when they differ from the sweep
+// defaults (the repro must rebuild the exact failing config).
+func (o Options) Repro(app, scenario string, seed uint64) string {
+	o = o.withDefaults()
+	cmd := fmt.Sprintf("go run ./cmd/stress -apps %s -scenarios %s -seeds %d -nodes %d -scale %g",
+		app, scenario, seed, o.Nodes, o.Scale)
+	if o.GVT != core.GVTNIC {
+		cmd += fmt.Sprintf(" -gvt %v", o.GVT)
+	}
+	if o.Topology != simnet.TopoCrossbar {
+		cmd += fmt.Sprintf(" -topo %v", o.Topology)
+	}
+	return cmd
 }

@@ -28,6 +28,7 @@ import (
 	"nicwarp/internal/apps/police"
 	"nicwarp/internal/apps/raid"
 	"nicwarp/internal/core"
+	"nicwarp/internal/simnet"
 	"nicwarp/internal/timewarp"
 	"nicwarp/internal/vtime"
 )
@@ -54,6 +55,24 @@ const (
 	// GVTPGVT is the pGVT-style centralized baseline (WARPED's other GVT
 	// algorithm).
 	GVTPGVT = core.GVTPGVT
+	// GVTNICTree is the NIC-level GVT with tree reduction instead of ring
+	// circulation: O(log n) convergence, built for large node counts.
+	GVTNICTree = core.GVTNICTree
+)
+
+// Topology selects the cluster interconnect model (crossbar, fat-tree,
+// dragonfly-lite). Set it on Config.Net.Topology; Config.Net.Radix sets the
+// switch radix for the multi-stage topologies.
+type Topology = simnet.Topology
+
+// Topologies.
+const (
+	// TopoCrossbar is the original single-stage full crossbar.
+	TopoCrossbar = simnet.TopoCrossbar
+	// TopoFatTree is a three-level folded-Clos fat tree.
+	TopoFatTree = simnet.TopoFatTree
+	// TopoDragonfly is the dragonfly-lite two-stage group topology.
+	TopoDragonfly = simnet.TopoDragonfly
 )
 
 // CancellationPolicy selects aggressive or lazy cancellation.

@@ -80,6 +80,15 @@ func Experiments() []Experiment {
 			},
 			Render: renderCancel("stations", policeCancelXs),
 		},
+		{
+			Name:        "figscale",
+			Output:      "figure_scale_gvt",
+			Description: "Scaling: ring vs tree NIC GVT over node count (multi-stage fabric)",
+			Jobs: func(opts FigureOpts) []runner.Job {
+				return scaleSweepJobs("figscale", opts)
+			},
+			Render: renderScale,
+		},
 	}
 	for _, a := range ablationDefs() {
 		exps = append(exps, a.experiment())
@@ -128,6 +137,15 @@ func renderGVT(_ FigureOpts, results []runner.Result) (*stats.Table, error) {
 		return nil, err
 	}
 	return GVTTable(rows), nil
+}
+
+// renderScale renders the scaling experiment ("figscale").
+func renderScale(opts FigureOpts, results []runner.Result) (*stats.Table, error) {
+	rows, err := foldScaleRows(ScaleNodeCounts(opts.withDefaults()), results)
+	if err != nil {
+		return nil, err
+	}
+	return ScaleTable(rows), nil
 }
 
 // renderCancel renders a cancellation-sweep experiment (Figures 6, 7, 8)

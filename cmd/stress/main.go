@@ -40,6 +40,7 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "workload scale")
 		gvtMode   = cliopt.GVT(flag.CommandLine, core.GVTNIC)
 		topo      = cliopt.Topology(flag.CommandLine)
+		batch     = flag.Int("batch", 0, "NIC send-batch size for every point (0 or 1 = off)")
 		shards    = cliopt.Shards(flag.CommandLine)
 		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel points (1 = serial)")
 		cacheDir  = flag.String("cache", "", "persist point results under this directory keyed on config digest")
@@ -66,6 +67,7 @@ func main() {
 		Scale:     *scale,
 		GVT:       *gvtMode,
 		Topology:  *topo,
+		Batch:     *batch,
 		Shards:    *shards,
 		Workers:   *workers,
 		Verify:    *verify,

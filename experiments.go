@@ -752,6 +752,52 @@ func ablationDefs() []ablationDef {
 				}
 			},
 		},
+		{
+			name:        "abl-batching",
+			output:      "ablation_batching",
+			description: "Ablation: NIC send batching and anti coalescing (frame capacity sweep)",
+			extras:      []string{"wirePkts", "busXings", "frames", "subsPerFrame", "nicUtil"},
+			variants: func(o FigureOpts) []ablationVariant {
+				var vs []ablationVariant
+				for _, bm := range []int{1, 2, 4, 8, 16} {
+					cfg := Config{
+						App:         Police(PoliceConfig(o.scaled(900))),
+						Nodes:       o.Nodes,
+						Seed:        o.Seed,
+						GVT:         GVTNIC,
+						GVTPeriod:   100,
+						EarlyCancel: true,
+						// Batching must be observationally invisible; every
+						// variant is checked against the sequential oracle.
+						// The oversized drop buffer keeps the check sound:
+						// evictions orphan antis and may legitimately
+						// deviate from the oracle, batching or not.
+						DropBufferCap: 4096,
+						VerifyOracle:  true,
+					}
+					cfg = cfg.WithDefaults()
+					cfg.NIC.BatchMax = bm
+					if bm > 1 {
+						cfg.NIC.FlushHorizon = 20 * vtime.Microsecond
+					}
+					vs = append(vs, ablationVariant{fmt.Sprintf("batch=%d", bm), cfg})
+				}
+				return vs
+			},
+			extract: func(res *Result) map[string]float64 {
+				subsPerFrame := 0.0
+				if res.BatchFrames > 0 {
+					subsPerFrame = float64(res.BatchSubs) / float64(res.BatchFrames)
+				}
+				return map[string]float64{
+					"wirePkts":     float64(res.WirePackets),
+					"busXings":     float64(res.BusCrossings),
+					"frames":       float64(res.BatchFrames),
+					"subsPerFrame": subsPerFrame,
+					"nicUtil":      res.NICUtil,
+				}
+			},
+		},
 	}
 }
 

@@ -127,15 +127,24 @@ func (e *Endpoint) AcceptV(pkt *proto.Packet) (Verdict, int) {
 	if pkt.Seq == 0 {
 		return VerdictFresh, 0 // NIC-originated packet outside the BIP stream
 	}
-	want := e.expect[pkt.SrcNode] + 1
-	if pkt.Seq < want {
+	return e.AcceptSeqV(pkt.SrcNode, pkt.Seq)
+}
+
+// AcceptSeqV is AcceptV on a bare (source, sequence) pair, for callers
+// that verify sub-messages unpacked from a batch frame: each sub-message
+// occupies its own slot in the per-source stream, so a frame is accepted
+// sequence by sequence and an assembly-time drop inside the frame's range
+// surfaces here as an ordinary gap.
+func (e *Endpoint) AcceptSeqV(src int32, seq uint64) (Verdict, int) {
+	want := e.expect[src] + 1
+	if seq < want {
 		if !e.tolerant {
 			panic(fmt.Sprintf("bip: node %d got stale/duplicate seq %d from node %d (want >= %d)",
-				e.node, pkt.Seq, pkt.SrcNode, want))
+				e.node, seq, src, want))
 		}
-		if holes := e.missing[pkt.SrcNode]; holes != nil {
-			if _, open := holes[pkt.Seq]; open {
-				delete(holes, pkt.Seq)
+		if holes := e.missing[src]; holes != nil {
+			if _, open := holes[seq]; open {
+				delete(holes, seq)
 				e.LateFilled.Inc()
 				e.Accepted.Inc()
 				return VerdictLate, 0
@@ -146,23 +155,23 @@ func (e *Endpoint) AcceptV(pkt *proto.Packet) (Verdict, int) {
 	}
 	e.Accepted.Inc()
 	missing := 0
-	if pkt.Seq > want {
-		missing = int(pkt.Seq - want)
+	if seq > want {
+		missing = int(seq - want)
 		e.GapsDetected.Inc()
 		e.MissingSeqs.Add(int64(missing))
-		holes := e.missing[pkt.SrcNode]
+		holes := e.missing[src]
 		if holes == nil {
 			if e.missing == nil {
 				e.missing = make(map[int32]map[uint64]struct{})
 			}
 			holes = make(map[uint64]struct{})
-			e.missing[pkt.SrcNode] = holes
+			e.missing[src] = holes
 		}
-		for s := want; s < pkt.Seq; s++ {
+		for s := want; s < seq; s++ {
 			holes[s] = struct{}{}
 		}
 	}
-	e.expect[pkt.SrcNode] = pkt.Seq
+	e.expect[src] = seq
 	return VerdictFresh, missing
 }
 

@@ -209,6 +209,18 @@ func (c Config) Validate() error {
 	if err := c.Fault.Validate(); err != nil {
 		return &FieldError{Field: "Fault", Value: c.Fault.Scenario, Reason: err.Error()}
 	}
+	if c.NIC.BatchMax < 0 {
+		return &FieldError{Field: "NIC.BatchMax", Value: c.NIC.BatchMax,
+			Reason: "batch size must be >= 0 (0 and 1 both mean no batching)"}
+	}
+	if c.NIC.FlushHorizon < 0 {
+		return &FieldError{Field: "NIC.FlushHorizon", Value: int(c.NIC.FlushHorizon),
+			Reason: "flush horizon must be >= 0"}
+	}
+	if c.NIC.FlushHorizon > 0 && c.NIC.BatchMax <= 1 {
+		return &FieldError{Field: "NIC.FlushHorizon", Value: int(c.NIC.FlushHorizon),
+			Reason: "flush horizon requires batching (NIC.BatchMax >= 2)"}
+	}
 	return c.Flow.Validate()
 }
 
@@ -264,6 +276,17 @@ type node struct {
 	// scratchEv is the reused decode target for inbound event packets; the
 	// kernel copies at the Deliver boundary.
 	scratchEv timewarp.Event
+	// scratchPkt is the reused per-sub-message view when a batch frame is
+	// unpacked: every layer below the kernel (checker, GVT manager, BIP)
+	// reads inbound packets without retaining them, so one decode target
+	// serves all sub-messages in turn.
+	scratchPkt proto.Packet
+	// absorbsQueued counts inbound packets whose DMA finished but whose
+	// absorb job has not yet run; it locates the packet a DMA completion
+	// belongs to (inbox[inboxHead+absorbsQueued]) so its absorb cost can
+	// depend on the packet — a batch frame pays one interrupt but per-sub
+	// protocol work.
+	absorbsQueued int
 
 	// pktFree recycles event/anti packets. The pool is per node so shards
 	// never contend: a packet is acquired by its source node's engine in
@@ -342,6 +365,7 @@ type Cluster struct {
 	gvtFW    []*firmware.GVTFirmware     // per node, when GVTNIC
 	treeFW   []*firmware.TreeGVTFirmware // per node, when GVTNICTree
 	cancelFW []*firmware.CancelFirmware  // per node, when EarlyCancel
+	batchFW  []*firmware.BatchFirmware   // per node, when NIC.BatchMax > 1
 
 	plane   *fault.Plane       // fault-injection plane, when cfg.Fault is set
 	checker *invariant.Checker // protocol oracles, when cfg.CheckInvariants
@@ -407,6 +431,7 @@ func NewClusterExec(cfg Config, ex Exec) (*Cluster, error) {
 	cl.gvtFW = make([]*firmware.GVTFirmware, cfg.Nodes)
 	cl.treeFW = make([]*firmware.TreeGVTFirmware, cfg.Nodes)
 	cl.cancelFW = make([]*firmware.CancelFirmware, cfg.Nodes)
+	cl.batchFW = make([]*firmware.BatchFirmware, cfg.Nodes)
 
 	if cfg.Fault.Enabled() {
 		cl.plane = fault.NewPlane(cfg.Fault, cfg.Nodes)
@@ -451,7 +476,13 @@ func NewClusterExec(cfg Config, ex Exec) (*Cluster, error) {
 		default:
 			fw = firmware.NewChain(parts...)
 		}
+		if cfg.NIC.BatchMax > 1 {
+			bf := firmware.NewBatch(fw, cfg.NIC.BatchMax, cfg.NIC.PerSubMsgCycles)
+			cl.batchFW[i] = bf
+			fw = bf
+		}
 		n.nicDev = nic.New(n.eng, i, cfg.NIC, cl.fabric, fw)
+		n.nicDev.SetPacketRecycler(n.releasePacket)
 		if cfg.DropBufferCap > 0 {
 			n.nicDev.Shared().Dropped = nic.NewDropBuffer(cfg.DropBufferCap)
 		}
@@ -939,12 +970,22 @@ func (n *node) nicDeliver(pkt *proto.Packet, done func()) {
 func nodeInboundDMADone(x interface{}) {
 	n := x.(*node)
 	c := n.cpu.Costs
-	n.cpu.DoArg(hostmodel.CatComm, c.InterruptOverhead+c.RecvOverhead, nodeAbsorbPacket, n)
+	cost := c.InterruptOverhead + c.RecvOverhead
+	// The bus is FIFO, so this completion belongs to the oldest inbound
+	// packet without a queued absorb job. A batch frame amortizes the
+	// interrupt across its sub-messages but pays full per-message protocol
+	// cost for each.
+	if in := n.inbox[n.inboxHead+n.absorbsQueued]; in.pkt.Kind == proto.KindBatch {
+		cost = c.InterruptOverhead + vtime.ModelTime(len(in.pkt.Subs))*c.RecvOverhead
+	}
+	n.absorbsQueued++
+	n.cpu.DoArg(hostmodel.CatComm, cost, nodeAbsorbPacket, n)
 }
 
 // nodeAbsorbPacket integrates the oldest DMAed packet on the host.
 func nodeAbsorbPacket(x interface{}) {
 	n := x.(*node)
+	n.absorbsQueued--
 	in := n.popInbound()
 	n.hostReceive(in.pkt)
 	in.done()
@@ -1089,6 +1130,10 @@ func sortedNodeKeys(m map[int32]int64) []int32 {
 
 // hostReceive integrates one inbound packet on the host.
 func (n *node) hostReceive(pkt *proto.Packet) {
+	if pkt.Kind == proto.KindBatch {
+		n.hostReceiveBatch(pkt)
+		return
+	}
 	verdict, _ := n.bipEnd.AcceptV(pkt)
 	if verdict == bip.VerdictDuplicate {
 		// A wire-fault duplicate: discard before any layer sees it — a
@@ -1155,6 +1200,73 @@ func (n *node) hostReceive(pkt *proto.Packet) {
 	default:
 		panic(fmt.Sprintf("core: node %d received unexpected packet %v", n.id, pkt))
 	}
+}
+
+// hostReceiveBatch unpacks a batch frame: each sub-message is verified
+// against the per-source BIP stream and delivered exactly as a solo packet
+// would be, through a reused packet view (no layer below the kernel
+// retains inbound packets). The frame's flow-control header — piggybacked
+// credit, NIC-repaired credit, and one owed credit per accepted
+// sub-message — is booked once, after classification, mirroring a solo
+// packet's OnReceive; assembly-time drops inside the frame's sequence
+// range surface as ordinary BIP gaps, and a wire-duplicated frame
+// duplicates every sub-message, so nothing is double-booked.
+func (n *node) hostReceiveBatch(frame *proto.Packet) {
+	seqSubs := 0
+	for i := range frame.Subs {
+		s := &frame.Subs[i]
+		n.scratchPkt = proto.Packet{
+			Seq:        frame.Seq + uint64(s.SeqDelta),
+			SrcNode:    frame.SrcNode,
+			DstNode:    frame.DstNode,
+			WireDup:    frame.WireDup,
+			Kind:       s.Kind,
+			SrcObj:     s.SrcObj,
+			DstObj:     s.DstObj,
+			SendTS:     s.SendTS,
+			RecvTS:     s.RecvTS,
+			EventID:    s.EventID,
+			Payload:    s.Payload,
+			ColorEpoch: s.ColorEpoch,
+		}
+		pkt := &n.scratchPkt
+		verdict, _ := n.bipEnd.AcceptSeqV(pkt.SrcNode, pkt.Seq)
+		if verdict == bip.VerdictDuplicate {
+			if ck := n.cluster.checker; ck != nil {
+				ck.OnDuplicate(n.id, pkt)
+			}
+			continue
+		}
+		seqSubs++
+		if pkt.Kind == proto.KindAnti {
+			n.remoteAntisDelivered++
+		}
+		if ck := n.cluster.checker; ck != nil {
+			ck.OnDelivered(n.id, pkt)
+		}
+		n.mgr.OnReceived(view{n}, pkt)
+		n.scratchEv = timewarp.Event{
+			ID:      pkt.EventID,
+			Src:     timewarp.ObjectID(pkt.SrcObj),
+			Dst:     timewarp.ObjectID(pkt.DstObj),
+			SendTS:  pkt.SendTS,
+			RecvTS:  pkt.RecvTS,
+			Sign:    pkt.Sign(),
+			Payload: pkt.Payload,
+		}
+		res := n.kernel.Deliver(&n.scratchEv)
+		n.finishStep(res, hostmodel.CatComm)
+	}
+	n.scratchPkt = proto.Packet{}
+	if seqSubs > 0 {
+		if reply := n.flow.OnReceiveBatch(frame, seqSubs); reply != nil {
+			c := n.cpu.Costs
+			n.cpu.Do(hostmodel.CatComm, c.SendOverhead, func() {
+				n.transmitHostPacket(reply)
+			})
+		}
+	}
+	n.nicDev.ReleaseFrame(frame)
 }
 
 // commitGVT installs a new GVT value on this node.

@@ -89,6 +89,12 @@ type Result struct {
 	BIPOutstanding int64 // sequence holes still open at quiescence
 	CreditRepair   int64 // credits refunded for packets dropped in place
 
+	// Batching (zero unless Config.NIC.BatchMax > 1).
+	BatchFrames  int64 // batch frames put on the wire
+	BatchSubs    int64 // sub-messages carried inside batch frames
+	WirePackets  int64 // packets (frames count once) actually serialized onto the wire
+	BusCrossings int64 // I/O-bus transfers, summed over nodes (DMAs + doorbell words)
+
 	// Fault accounting (zero unless Config.Fault was set).
 	FaultsInjected int64 // total fault decisions that bit (drops, dups, delays, holds, stalls)
 
@@ -178,6 +184,10 @@ func (cl *Cluster) collect() *Result {
 		ns := &n.nicDev.Stats
 		r.DroppedInPlace += ns.DroppedInPlace.Value()
 		r.AntisFiltered += ns.AntisFiltered.Value()
+		r.BatchFrames += ns.BatchFrames.Value()
+		r.BatchSubs += ns.BatchSubs.Value()
+		r.WirePackets += ns.HostTx.Value() + ns.NICTx.Value()
+		r.BusCrossings += n.bus.Transfers.Value()
 		r.DropBufEvictions += n.nicDev.Shared().Dropped.Evictions.Value()
 		r.OrphanAntis += ks.OrphanAntis.Value()
 

@@ -191,6 +191,39 @@ func (e *Endpoint) OnReceive(pkt *proto.Packet) (creditReply *proto.Packet) {
 	return nil
 }
 
+// OnReceiveBatch books the flow-control effects of an inbound batch frame
+// carrying seqSubs accepted event-like sub-messages. The frame's header
+// fields (piggybacked credit, NIC-repaired credit) are booked once, like a
+// solo packet's; each sub-message consumed one sender credit at Send time,
+// so each owes one credit back. Returns an explicit credit packet exactly
+// as OnReceive does.
+func (e *Endpoint) OnReceiveBatch(frame *proto.Packet, seqSubs int) (creditReply *proto.Packet) {
+	src := frame.SrcNode
+	if frame.Credits > 0 {
+		e.creditsFor(src)
+		e.credits[src] += int(frame.Credits)
+		e.drain(src)
+	}
+	if frame.CreditRepair > 0 {
+		e.owed[src] += int(frame.CreditRepair)
+		e.Repaired.Add(int64(frame.CreditRepair))
+	}
+	e.owed[src] += seqSubs
+	if e.owed[src] >= e.cfg.ReturnThreshold {
+		owed := e.owed[src]
+		delete(e.owed, src)
+		e.Returned.Add(int64(owed))
+		e.CreditMsgs.Inc()
+		return &proto.Packet{
+			Kind:    proto.KindCredit,
+			SrcNode: int32(e.node),
+			DstNode: src,
+			Credits: int32(owed),
+		}
+	}
+	return nil
+}
+
 // drain releases buffered packets toward dst while credit lasts.
 func (e *Endpoint) drain(dst int32) {
 	q := e.waiting[dst]

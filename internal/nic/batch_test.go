@@ -1,0 +1,348 @@
+package nic
+
+import (
+	"testing"
+
+	"nicwarp/internal/des"
+	"nicwarp/internal/proto"
+	"nicwarp/internal/simnet"
+	"nicwarp/internal/vtime"
+)
+
+// runUntil advances the engine in small steps until cond holds (or the
+// deadline passes, failing the test).
+func runUntil(t *testing.T, eng *des.Engine, cond func() bool, what string) {
+	t.Helper()
+	start := eng.Now()
+	for step := start; step < start+vtime.Second; step += vtime.Microsecond {
+		if cond() {
+			return
+		}
+		eng.Run(step)
+	}
+	t.Fatalf("condition never held: %s", what)
+}
+
+// TestSendQCompactionWithFirmwareDrops is the regression test for the
+// transmit-ring head slide: when the queue's backing array fills while a
+// consumed prefix exists (sendHead > 0), enqueue compacts the live entries
+// to the front. Interleaving firmware removals (early cancellation editing
+// the queue in place) with the slide must neither lose nor duplicate nor
+// reorder entries.
+func TestSendQCompactionWithFirmwareDrops(t *testing.T) {
+	r := newRig(t, 2, func(i int) Firmware {
+		if i == 0 {
+			return &stubFirmware{onWireReceive: func(p *proto.Packet, a API) Verdict {
+				if p.IsAnti() {
+					removed := a.RemoveFromSendQueue(func(q *proto.Packet) bool {
+						return q.SendTS > p.RecvTS
+					})
+					for range removed {
+						a.Stats().DroppedInPlace.Inc()
+					}
+				}
+				return VerdictForward
+			}}
+		}
+		return &stubFirmware{}
+	})
+	n0 := r.nics[0]
+	total := 0
+	slides := 0
+	enq := func(id int) {
+		if len(n0.sendQ) == cap(n0.sendQ) && n0.sendHead > 0 {
+			slides++ // this enqueue triggers the ring slide
+		}
+		p := evPkt(0, 1)
+		p.EventID = uint64(id)
+		p.SendTS = vtime.VTime(id)
+		n0.HostEnqueue(p)
+		total++
+	}
+
+	// Fill the backing array: the first packet enters flight immediately,
+	// the rest queue behind it.
+	id := 0
+	for ; id < 9; id++ {
+		enq(id)
+	}
+	// Let a prefix depart so the consumed head region exists.
+	runUntil(t, r.eng, func() bool { return n0.sendHead >= 3 }, "transmit head advanced")
+
+	// A firmware removal edits the live region in place (drops the highest
+	// timestamps still queued), interleaved with the slide below.
+	anti := &proto.Packet{Kind: proto.KindAnti, SrcNode: 1, DstNode: 0, RecvTS: 6}
+	r.nics[1].HostEnqueue(anti)
+	runUntil(t, r.eng, func() bool { return n0.Stats.DroppedInPlace.Value() > 0 }, "firmware dropped queued packets")
+
+	// Refill to capacity: the enqueue that lands with len==cap and
+	// sendHead>0 slides the ring. Keep going through a few slide rounds,
+	// each followed by a firmware drop against the freshly compacted queue.
+	for round := 0; round < 3; round++ {
+		for len(n0.sendQ) < cap(n0.sendQ) {
+			enq(id)
+			id++
+		}
+		if n0.sendHead == 0 {
+			runUntil(t, r.eng, func() bool { return n0.sendHead > 0 }, "departure before slide")
+		}
+		enq(id) // len==cap with head>0: slides
+		id++
+		if n0.sendHead != 0 {
+			t.Fatalf("round %d: enqueue at capacity did not compact (head=%d)", round, n0.sendHead)
+		}
+		before := n0.Stats.DroppedInPlace.Value()
+		anti := &proto.Packet{Kind: proto.KindAnti, SrcNode: 1, DstNode: 0, RecvTS: vtime.VTime(id - 3)}
+		r.nics[1].HostEnqueue(anti)
+		runUntil(t, r.eng, func() bool { return n0.Stats.DroppedInPlace.Value() > before },
+			"firmware drop against the compacted queue")
+	}
+	r.eng.Run(vtime.ModelInfinity)
+
+	if slides == 0 {
+		t.Fatal("test never exercised the ring slide")
+	}
+	dropped := n0.Stats.DroppedInPlace.Value()
+	var delivered []uint64
+	for _, p := range r.toHost[1] {
+		if p.Kind == proto.KindEvent {
+			delivered = append(delivered, p.EventID)
+		}
+	}
+	if int64(len(delivered))+dropped != int64(total) {
+		t.Fatalf("conservation: delivered %d + dropped %d != enqueued %d", len(delivered), dropped, total)
+	}
+	for i := 1; i < len(delivered); i++ {
+		if delivered[i] <= delivered[i-1] {
+			t.Fatalf("FIFO order violated across slides: %v", delivered)
+		}
+	}
+	if n0.sendLen() != 0 || !n0.Idle() {
+		t.Fatal("sender did not drain")
+	}
+}
+
+// batchRig builds a 2-node rig with the given NIC config (newRig pins
+// DefaultConfig).
+func batchRig(t *testing.T, cfg Config, fw func(i int) Firmware) *rig {
+	t.Helper()
+	r := &rig{
+		eng:    des.NewEngine(),
+		toHost: make([][]*proto.Packet, 2),
+		bells:  make([][]NotifyTag, 2),
+	}
+	r.fabric = simnet.NewFabric(simnet.DefaultConfig(), 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		nc := New(r.eng, i, cfg, r.fabric, fw(i))
+		nc.Wire(
+			func(p *proto.Packet, done func()) {
+				r.toHost[i] = append(r.toHost[i], p)
+				done()
+			},
+			func(tag NotifyTag) { r.bells[i] = append(r.bells[i], tag) },
+		)
+		r.nics = append(r.nics, nc)
+	}
+	for _, nc := range r.nics {
+		nc.WirePeers(func(node int) *NIC { return r.nics[node] })
+	}
+	return r
+}
+
+// stubBatcher is a minimal Batcher: gather partners, fold everything, no
+// drops. Embeds stubFirmware so it satisfies Firmware too.
+type stubBatcher struct {
+	stubFirmware
+	max int
+}
+
+func (s *stubBatcher) AssembleBatch(head *proto.Packet, api API) *proto.Packet {
+	partners := api.GatherBatch(head.DstNode, s.max-1)
+	if len(partners) == 0 {
+		return nil
+	}
+	frame := api.AllocFrame()
+	frame.Kind = proto.KindBatch
+	frame.Seq = head.Seq
+	frame.SrcNode = head.SrcNode
+	frame.DstNode = head.DstNode
+	fold := func(p *proto.Packet) {
+		frame.Subs = append(frame.Subs, proto.SubMsg{
+			Kind:     p.Kind,
+			SeqDelta: uint32(p.Seq - frame.Seq),
+			EventID:  p.EventID,
+		})
+	}
+	fold(head)
+	api.RecycleHostPacket(head)
+	for _, p := range partners {
+		fold(p)
+		api.RecycleHostPacket(p)
+	}
+	return frame
+}
+
+func seqPkt(src, dst int32, seq uint64) *proto.Packet {
+	p := evPkt(src, dst)
+	p.Seq = seq
+	p.EventID = seq
+	return p
+}
+
+// TestBatchAssemblyOnPump checks the transmit path end to end with a
+// batcher installed: queued same-destination packets leave as one frame,
+// counted once on the wire, with the batch counters tracking contents.
+func TestBatchAssemblyOnPump(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchMax = 8
+	r := batchRig(t, cfg, func(i int) Firmware {
+		if i == 0 {
+			return &stubBatcher{max: 8}
+		}
+		return &stubFirmware{}
+	})
+	// Head enters flight solo; the next four queue and batch behind it.
+	for s := uint64(1); s <= 5; s++ {
+		r.nics[0].HostEnqueue(seqPkt(0, 1, s))
+	}
+	r.eng.Run(vtime.ModelInfinity)
+
+	var frames, solos int
+	for _, p := range r.toHost[1] {
+		if p.Kind == proto.KindBatch {
+			frames++
+			if len(p.Subs) != 4 {
+				t.Fatalf("frame carries %d subs, want 4", len(p.Subs))
+			}
+			if p.Seq != 2 || p.Subs[3].SeqDelta != 3 {
+				t.Fatalf("frame range wrong: base %d, last delta %d", p.Seq, p.Subs[3].SeqDelta)
+			}
+		} else {
+			solos++
+		}
+	}
+	if frames != 1 || solos != 1 {
+		t.Fatalf("got %d frames and %d solo packets, want 1 and 1", frames, solos)
+	}
+	if got := r.nics[0].Stats.BatchFrames.Value(); got != 1 {
+		t.Fatalf("BatchFrames = %d", got)
+	}
+	if got := r.nics[0].Stats.BatchSubs.Value(); got != 4 {
+		t.Fatalf("BatchSubs = %d", got)
+	}
+	// One frame + one solo = two wire packets for five messages.
+	if got := r.nics[0].Stats.HostTx.Value(); got != 2 {
+		t.Fatalf("HostTx = %d, want 2", got)
+	}
+}
+
+// TestGatherBatchStopRule checks the queue edit underneath assembly:
+// other-destination and NIC-originated entries are retained in order, and
+// the gather stops at the first same-destination packet that must dequeue
+// alone (here: one carrying a GVT piggyback).
+func TestGatherBatchStopRule(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchMax = 8
+	r := batchRig(t, cfg, func(i int) Firmware { return &stubFirmware{} })
+	n := r.nics[0]
+	// Build a queue by hand (no pump: txPumping pinned).
+	n.txPumping = true
+	n.enqueue(outEntry{pkt: seqPkt(0, 1, 1)})
+	n.enqueue(outEntry{pkt: seqPkt(0, 0, 9)}) // other destination
+	n.enqueue(outEntry{pkt: seqPkt(0, 1, 2)}) // gatherable
+	piggy := seqPkt(0, 1, 3)
+	piggy.PiggyGVTValid = true // stops the gather toward dst 1
+	n.enqueue(outEntry{pkt: piggy})
+	n.enqueue(outEntry{pkt: seqPkt(0, 1, 4)}) // behind the stop: retained
+	tok := &proto.Packet{Kind: proto.KindGVTToken, SrcNode: 0, DstNode: 1}
+	n.enqueue(outEntry{pkt: tok, fromNIC: true}) // NIC-originated: retained
+
+	got := apiImpl{n}.GatherBatch(1, 7)
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("gathered %v", got)
+	}
+	var left []uint64
+	for _, e := range n.sendQ[n.sendHead:] {
+		left = append(left, e.pkt.Seq)
+	}
+	want := []uint64{9, 3, 4, 0}
+	if len(left) != len(want) {
+		t.Fatalf("queue after gather: %v, want %v", left, want)
+	}
+	for i := range want {
+		if left[i] != want[i] {
+			t.Fatalf("queue after gather: %v, want %v", left, want)
+		}
+	}
+	n.clearScratch()
+	if len(n.gbScratch) != 0 {
+		t.Fatal("gather scratch not cleared")
+	}
+}
+
+// TestFlushHorizonHoldsThenFires: with a horizon configured and too few
+// partners queued, an eligible head waits — and departs at the deadline
+// even if no partner ever arrives.
+func TestFlushHorizonHoldsThenFires(t *testing.T) {
+	const horizon = 50 * vtime.Microsecond
+	cfg := DefaultConfig()
+	cfg.BatchMax = 8
+	cfg.FlushHorizon = horizon
+	r := batchRig(t, cfg, func(i int) Firmware {
+		if i == 0 {
+			return &stubBatcher{max: 8}
+		}
+		return &stubFirmware{}
+	})
+	r.nics[0].HostEnqueue(seqPkt(0, 1, 1))
+	r.eng.Run(horizon / 2)
+	if len(r.toHost[1]) != 0 {
+		t.Fatal("held head departed before the flush horizon")
+	}
+	r.eng.Run(vtime.ModelInfinity)
+	if len(r.toHost[1]) != 1 {
+		t.Fatalf("held head never flushed: %d delivered", len(r.toHost[1]))
+	}
+	if r.nics[0].Stats.BatchFrames.Value() != 0 {
+		t.Fatal("lone packet must not become a frame")
+	}
+}
+
+// TestFlushHorizonBatchesArrivals: partners arriving within the horizon
+// join the held head's frame.
+func TestFlushHorizonBatchesArrivals(t *testing.T) {
+	const horizon = vtime.Millisecond
+	cfg := DefaultConfig()
+	cfg.BatchMax = 4
+	cfg.FlushHorizon = horizon
+	r := batchRig(t, cfg, func(i int) Firmware {
+		if i == 0 {
+			return &stubBatcher{max: 4}
+		}
+		return &stubFirmware{}
+	})
+	for s := uint64(1); s <= 4; s++ {
+		s := s
+		r.eng.Schedule(vtime.ModelTime(s)*vtime.Microsecond, func() {
+			r.nics[0].HostEnqueue(seqPkt(0, 1, s))
+		})
+	}
+	// Run only to half the horizon: a full batch flushes as soon as the
+	// fourth arrival completes it, not at the (still armed, now stale)
+	// horizon timer.
+	r.eng.Run(horizon / 2)
+	if got := len(r.toHost[1]); got != 1 {
+		t.Fatalf("full batch did not flush before the horizon: %d delivered", got)
+	}
+	if got := r.nics[0].Stats.BatchFrames.Value(); got != 1 {
+		t.Fatalf("BatchFrames = %d, want 1", got)
+	}
+	if got := r.nics[0].Stats.BatchSubs.Value(); got != 4 {
+		t.Fatalf("BatchSubs = %d, want 4 (full frame)", got)
+	}
+	r.eng.Run(vtime.ModelInfinity) // drain the stale flush timer
+	if got := len(r.toHost[1]); got != 1 {
+		t.Fatalf("stale flush timer re-delivered: %d packets", got)
+	}
+}

@@ -51,6 +51,27 @@ type Config struct {
 	// buffer may be, and is the NIC's share of the cross-shard lookahead
 	// contract.
 	CreditReturnDelay vtime.ModelTime
+
+	// BatchMax, when > 1, enables NIC-side send batching: at dequeue time
+	// the firmware gathers up to BatchMax-1 additional queued event-like
+	// packets bound for the head packet's destination and folds them, with
+	// the head, into one KindBatch frame — one wire header, one BIP
+	// sequence range, one link arbitration, one I/O-bus crossing at the
+	// receiver. 0 or 1 leaves batching off (the default), keeping every
+	// committed schedule byte-identical to the unbatched simulator.
+	BatchMax int
+	// FlushHorizon bounds the extra latency batching may add: a
+	// batch-eligible head packet waits at most this long (in model time,
+	// from its enqueue) for partners to accumulate before the pump flushes
+	// whatever is available. Zero means no waiting — batches form only
+	// from backlog already queued at dequeue time.
+	FlushHorizon vtime.ModelTime
+	// PerSubMsgCycles is the NIC processor work charged per sub-message
+	// folded into (transmit) or expanded from (receive) a batch frame, on
+	// top of SendCycles/RecvCycles. A frame therefore costs
+	// SendCycles + N*PerSubMsgCycles, which is what makes the batch-vs-
+	// latency tradeoff a real modeled curve rather than a free win.
+	PerSubMsgCycles int64
 }
 
 // DefaultConfig returns parameters for the paper's LanAI4 NIC: a 66 MHz
@@ -66,6 +87,7 @@ func DefaultConfig() Config {
 		SendQueueCap:      4096,
 		RxQueueCap:        6,
 		CreditReturnDelay: 8 * vtime.Microsecond, // stop/go credit round trip
+		PerSubMsgCycles:   60,                    // ~0.9us per folded/expanded sub-message
 	}
 }
 
@@ -168,6 +190,42 @@ type API interface {
 	NotifyHost(tag NotifyTag)
 	// Stats returns the NIC's counters for firmware-maintained metrics.
 	Stats() *Stats
+
+	// GatherBatch removes from the send queue, in queue order, up to max
+	// host-submitted packets bound for dst that may ride in a batch frame,
+	// and returns them. Gathering stops at the first dst-bound host packet
+	// that is not batchable: every host packet toward dst carries a BIP
+	// sequence number, and folding traffic from beyond such a packet would
+	// reorder the per-destination stream. The returned slice is scratch
+	// reused by the next call; consume it within the hook. Unlike
+	// RemoveFromSendQueue, gathered packets are NOT reported as discards —
+	// they still travel, inside the frame.
+	GatherBatch(dst int32, max int) []*proto.Packet
+	// AllocFrame returns a zeroed packet for batch assembly from the NIC's
+	// frame pool, its Subs slice empty with capacity retained across
+	// reuses. The frame returns to a pool via NIC.ReleaseFrame once the
+	// destination host has expanded it.
+	AllocFrame() *proto.Packet
+	// DiscardHostPacket reports a host-submitted packet the firmware
+	// removed from the transmit path without sending (a batch partner
+	// dropped by early cancellation at assembly time), feeding the same
+	// invariant accounting as a drop verdict from OnHostSend.
+	DiscardHostPacket(pkt *proto.Packet)
+	// RecycleHostPacket returns a dead host packet to the host's free
+	// list: a packet folded into a batch frame is fully copied into the
+	// frame and its struct would otherwise be garbage. No-op when the
+	// cluster assembly has not installed a recycler.
+	RecycleHostPacket(pkt *proto.Packet)
+}
+
+// Batcher is the optional firmware extension the transmit pump invokes
+// when batching is enabled (Config.BatchMax > 1): after the head packet's
+// OnHostSend returned Forward, AssembleBatch may gather queued partners
+// and fold them into a single KindBatch frame, which then replaces the
+// head on the wire. Returning nil sends the head unchanged. The
+// implementation must charge its assembly work through api.Charge.
+type Batcher interface {
+	AssembleBatch(head *proto.Packet, api API) *proto.Packet
 }
 
 // Stats aggregates NIC counters, including those maintained by firmware.
@@ -184,12 +242,17 @@ type Stats struct {
 	SendQDepth     stats.Gauge   // transmit backlog high-water
 	SendQOverflow  stats.Counter // enqueue attempts beyond SendQueueCap
 	FirmwareCycles stats.Counter // extra cycles charged by firmware hooks
+
+	BatchFrames   stats.Counter // batch frames put on the wire
+	BatchSubs     stats.Counter // sub-messages carried inside batch frames
+	BatchSubDrops stats.Counter // batch partners cancelled at assembly time
 }
 
 // outEntry is one transmit-queue slot.
 type outEntry struct {
 	pkt     *proto.Packet //nicwarp:owns transmit-queue slot; cleared when the packet leaves the queue
 	fromNIC bool
+	enqAt   vtime.ModelTime // enqueue instant; anchors the batch flush horizon
 }
 
 // NIC is one node's network interface.
@@ -270,6 +333,13 @@ type NIC struct {
 	// hooks; they are valid only until the hook returns (clearScratch).
 	sqScratch []*proto.Packet //nicwarp:owns hook-scoped view, emptied by clearScratch when the hook returns
 	rmScratch []*proto.Packet //nicwarp:owns hook-scoped view, emptied by clearScratch when the hook returns
+	gbScratch []*proto.Packet //nicwarp:owns hook-scoped view, emptied by clearScratch when the hook returns
+
+	// Batching machinery (active when cfg.BatchMax > 1).
+	batcher   Batcher         // fw's Batcher extension, resolved once at New
+	frameFree []*proto.Packet //nicwarp:owns batch-frame free list; frames migrate between NIC pools like event packets between host pools
+	recycle   func(*proto.Packet)
+	flushAt   vtime.ModelTime // deadline of the armed flush timer (0 = none)
 
 	Stats Stats
 }
@@ -293,6 +363,9 @@ func New(eng *des.Engine, node int, cfg Config, fabric *simnet.Fabric, fw Firmwa
 		shared: NewSharedWindow(),
 	}
 	n.creditDoneFn = n.creditDone
+	if b, ok := fw.(Batcher); ok {
+		n.batcher = b
+	}
 	fabric.Attach(node, eng, uint32(node), n.wireReceive)
 	return n
 }
@@ -408,6 +481,79 @@ func (n *NIC) TxCredit(dst int) int { return n.txCredit[dst] }
 // before traffic flows; a nil hook disables observation.
 func (n *NIC) SetHostDiscardHook(fn func(*proto.Packet)) { n.onHostDiscard = fn }
 
+// SetPacketRecycler installs the host packet free-list hook used by batch
+// assembly: a packet folded into a batch frame dies on the NIC (its fields
+// were copied into the frame), so it is handed back to the host pool it
+// came from instead of becoming garbage. The NIC and its host share one
+// node and one engine, so the return is single-threaded. Call before
+// traffic flows; nil disables recycling.
+func (n *NIC) SetPacketRecycler(fn func(*proto.Packet)) { n.recycle = fn }
+
+// ReleaseFrame returns a consumed batch frame to this NIC's frame pool,
+// zeroing everything but the Subs capacity. Frames are allocated at the
+// sending NIC and released at the receiving one — they migrate between
+// pools exactly as event packets migrate between host pools, and each
+// pool is only ever touched by its own node's engine.
+//
+//nicwarp:hotpath frame release, executed once per delivered batch frame
+func (n *NIC) ReleaseFrame(f *proto.Packet) {
+	subs := f.Subs[:0]
+	clear(f.Subs[:cap(f.Subs)])
+	*f = proto.Packet{}
+	f.Subs = subs
+	n.frameFree = append(n.frameFree, f) //nicwarp:alloc free-list growth, amortized across the run
+}
+
+// batchEligible reports whether a host packet may lead or join a batch
+// frame: ordinary unicast event traffic that BIP has stamped. GVT
+// handshake piggybacks are excluded — a queued piggyback must dequeue
+// individually so its extraction hook fires before any fold — and they
+// stop a gather toward their destination (see API.GatherBatch).
+func batchEligible(p *proto.Packet) bool {
+	return p.IsEventLike() && !p.PiggyGVTValid && p.DstNode >= 0 && p.Seq != 0
+}
+
+// batchAvailable counts, under the gather stop rule, the queued host
+// packets currently foldable into a frame for dst (including the head),
+// capped at BatchMax.
+//
+//nicwarp:hotpath batch-availability scan, executed on every transmit pump while batching
+func (n *NIC) batchAvailable(dst int32) int {
+	count := 0
+	for _, e := range n.sendQ[n.sendHead:] {
+		if e.fromNIC || e.pkt.DstNode != dst {
+			continue
+		}
+		if !batchEligible(e.pkt) {
+			break
+		}
+		count++
+		if count >= n.cfg.BatchMax {
+			break
+		}
+	}
+	return count
+}
+
+// armFlush schedules a transmit-pump kick at the flush-horizon deadline,
+// unless a timer that fires at or before it is already pending. Stale
+// timers (the held head departed early because partners arrived) re-run
+// the pump harmlessly.
+func (n *NIC) armFlush(deadline vtime.ModelTime) {
+	now := n.eng.Now()
+	if n.flushAt > now && n.flushAt <= deadline {
+		return
+	}
+	n.flushAt = deadline
+	n.eng.ScheduleArg(deadline-now, nicFlushExpire, n)
+}
+
+// nicFlushExpire is the flush-horizon timer: the held head has waited long
+// enough, flush whatever is available.
+func nicFlushExpire(x interface{}) {
+	x.(*NIC).txPump()
+}
+
 // FaultHoldRx occupies up to k receive-buffer slots on behalf of the fault
 // plane, returning how many were taken. While slots are held, an equal
 // number of outgoing flow-control credits are withheld, so senders see the
@@ -492,6 +638,7 @@ func (n *NIC) HostEnqueue(pkt *proto.Packet) {
 
 // enqueue adds to the transmit queue and starts the pump.
 func (n *NIC) enqueue(e outEntry) {
+	e.enqAt = n.eng.Now()
 	if n.sendLen() >= n.cfg.SendQueueCap {
 		n.Stats.SendQOverflow.Inc()
 	}
@@ -563,6 +710,19 @@ func (n *NIC) txPump() {
 			return
 		}
 	}
+	// Doorbell coalescing: an eligible head with too few queued partners may
+	// wait — within its flush horizon — for more traffic to the same
+	// destination, so one pump flushes a whole frame. A zero horizon batches
+	// only backlog that already exists.
+	if n.cfg.BatchMax > 1 && n.batcher != nil && !head.fromNIC && batchEligible(head.pkt) {
+		if avail := n.batchAvailable(head.pkt.DstNode); avail < n.cfg.BatchMax && n.cfg.FlushHorizon > 0 {
+			deadline := head.enqAt + n.cfg.FlushHorizon
+			if n.eng.Now() < deadline {
+				n.armFlush(deadline)
+				return
+			}
+		}
+	}
 	n.txPumping = true
 	entry := n.popSend()
 	n.Stats.SendQDepth.Set(int64(n.sendLen()))
@@ -571,6 +731,18 @@ func (n *NIC) txPump() {
 	if !entry.fromNIC {
 		verdict = n.fw.OnHostSend(entry.pkt, apiImpl{n})
 		n.clearScratch()
+		// Batch assembly runs after the head has cleared firmware (so a
+		// piggybacked GVT snapshot has already been extracted and scrubbed)
+		// and substitutes a frame for the head in place; the frame then pays
+		// the per-sub-message cycle charges the batcher accrued.
+		if verdict == VerdictForward && n.batcher != nil && n.cfg.BatchMax > 1 && batchEligible(entry.pkt) {
+			if frame := n.batcher.AssembleBatch(entry.pkt, apiImpl{n}); frame != nil {
+				entry.pkt = frame
+				n.Stats.BatchFrames.Inc()
+				n.Stats.BatchSubs.Add(int64(len(frame.Subs)))
+			}
+			n.clearScratch()
+		}
 	}
 	// txPumping covers both transmit stages (processor, then serializer), so
 	// the in-flight entry rides on the NIC struct instead of a closure.
@@ -742,6 +914,8 @@ func (n *NIC) clearScratch() {
 	n.sqScratch = n.sqScratch[:0]
 	clear(n.rmScratch[:cap(n.rmScratch)])
 	n.rmScratch = n.rmScratch[:0]
+	clear(n.gbScratch[:cap(n.gbScratch)])
+	n.gbScratch = n.gbScratch[:0]
 }
 
 // apiImpl implements API as a view over the NIC. A distinct type keeps the
@@ -811,3 +985,74 @@ func (a apiImpl) NotifyHost(tag NotifyTag) {
 }
 
 func (a apiImpl) Stats() *Stats { return &a.n.Stats }
+
+// GatherBatch extracts from the send queue, in order, the host packets
+// bound for dst that may join the current frame, up to max. The gather
+// stops at the first same-destination host packet that is not batch
+// eligible — that packet carries state (a credit reply, a GVT piggyback)
+// that must dequeue on its own, and stopping there keeps the gathered
+// sequence numbers a contiguous prefix of the per-destination BIP stream.
+// Other-destination and NIC-originated entries are skipped and retained.
+// The removed packets are NOT reported to the host discard observer: they
+// are not discarded, their content travels on inside the frame.
+//
+//nicwarp:hotpath batch gather, executed once per assembled frame
+func (a apiImpl) GatherBatch(dst int32, max int) []*proto.Packet {
+	n := a.n
+	out := n.gbScratch[:0]
+	live := n.sendQ[n.sendHead:]
+	kept := live[:0]
+	stopped := false
+	for _, e := range live {
+		if !stopped && !e.fromNIC && e.pkt.DstNode == dst && len(out) < max {
+			if batchEligible(e.pkt) {
+				out = append(out, e.pkt) //nicwarp:alloc scratch growth, amortized across the run
+				continue
+			}
+			stopped = true
+		}
+		kept = append(kept, e) //nicwarp:alloc aliases live[:0], never exceeds its capacity
+	}
+	for i := len(kept); i < len(live); i++ {
+		live[i] = outEntry{}
+	}
+	n.sendQ = n.sendQ[:n.sendHead+len(kept)]
+	n.gbScratch = out
+	n.Stats.SendQDepth.Set(int64(n.sendLen()))
+	return out
+}
+
+// AllocFrame hands the batcher an empty frame from this NIC's pool (or a
+// fresh one sized to the configured batch limit). The frame is released
+// into the destination NIC's pool after delivery.
+//
+//nicwarp:hotpath frame allocation, executed once per assembled frame
+func (a apiImpl) AllocFrame() *proto.Packet {
+	n := a.n
+	if k := len(n.frameFree); k > 0 {
+		f := n.frameFree[k-1]
+		n.frameFree[k-1] = nil
+		n.frameFree = n.frameFree[:k-1]
+		return f
+	}
+	f := &proto.Packet{}                             //nicwarp:alloc pool miss; amortized to zero by reuse
+	f.Subs = make([]proto.SubMsg, 0, n.cfg.BatchMax) //nicwarp:alloc pool miss; amortized to zero by reuse
+	return f
+}
+
+// DiscardHostPacket reports a firmware-dropped gathered packet to the host
+// discard observer (the invariant checker books the drop), without
+// recycling it — the observer still reads it.
+func (a apiImpl) DiscardHostPacket(pkt *proto.Packet) {
+	if a.n.onHostDiscard != nil {
+		a.n.onHostDiscard(pkt)
+	}
+}
+
+// RecycleHostPacket returns a gathered packet whose content was folded
+// into a frame to the host packet pool it was allocated from.
+func (a apiImpl) RecycleHostPacket(pkt *proto.Packet) {
+	if a.n.recycle != nil {
+		a.n.recycle(pkt)
+	}
+}

@@ -50,6 +50,12 @@ const (
 	// NIC as in the Yu/Buntinas/Panda NIC-based collective protocols. Uses
 	// the token body fields.
 	KindGVTReduce
+	// KindBatch is a NIC-assembled frame carrying N event-like sub-messages
+	// to the same destination node under one wire header: one BIP sequence
+	// range, MPICH credits piggybacked once, one link arbitration. The
+	// outer header fields (Seq, Credits, CreditRepair, piggyback block)
+	// describe the frame; each SubMsg carries the per-event fields.
+	KindBatch
 	numKinds
 )
 
@@ -72,6 +78,8 @@ func (k Kind) String() string {
 		return "ack"
 	case KindGVTReduce:
 		return "gvt-reduce"
+	case KindBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -141,6 +149,54 @@ type Packet struct {
 	TokenGVT    vtime.VTime // final value (broadcast only)
 	TokenOrigin int32       // root LP of this computation
 	TokenEpoch  uint64      // id of the GVT computation (root-local counter)
+
+	// ---- Batch body (valid for KindBatch only) ----
+	// Sub-messages folded into this frame, in BIP sequence order. The
+	// frame's Seq is the sequence number of the first sub-message; each
+	// sub carries its offset from that base (SeqDelta), so firmware drops
+	// at assembly time leave representable holes inside the range.
+	Subs []SubMsg
+}
+
+// SubMsg is one event-like message folded into a KindBatch frame. It
+// carries exactly the WARPED Basic Event Message fields plus the BIP
+// sequence offset; frame-level fields (credits, piggyback block) live once
+// in the enclosing Packet header.
+type SubMsg struct {
+	Kind       Kind   // KindEvent or KindAnti
+	SeqDelta   uint32 // BIP seq = frame.Seq + SeqDelta
+	SrcObj     int32
+	DstObj     int32
+	SendTS     vtime.VTime
+	RecvTS     vtime.VTime
+	EventID    uint64
+	Payload    uint64
+	ColorEpoch uint32
+}
+
+// subMsgWireSize is the fixed encoded size in bytes of one SubMsg record.
+const subMsgWireSize = 1 + 4 + // Kind, SeqDelta
+	4 + 4 + 8 + 8 + 8 + 8 + // SrcObj..Payload
+	4 + // ColorEpoch
+	1 // Sign byte (redundant with Kind; kept for firmware parity)
+
+// batchCountWireSize is the u16 sub-message count that follows the fixed
+// header of a KindBatch frame.
+const batchCountWireSize = 2
+
+// MaxBatchSubs bounds the number of sub-messages one frame can carry
+// (the count is encoded as a u16).
+const MaxBatchSubs = 1<<16 - 1
+
+// Sign returns the Time Warp sign of the sub-message.
+func (s *SubMsg) Sign() int8 {
+	switch s.Kind {
+	case KindEvent:
+		return SignPositive
+	case KindAnti:
+		return SignNegative
+	}
+	return 0
 }
 
 // packetWireSize is the fixed encoded size in bytes of the header fields
@@ -156,8 +212,16 @@ const packetWireSize = 8 + 4 + 4 + // Seq, SrcNode, DstNode
 	1 // Sign byte (encoded from Kind redundancy; kept for firmware parity)
 
 // EncodedSize returns the on-wire size in bytes of the packet, used by the
-// hardware model to charge bus and link bandwidth.
-func (p *Packet) EncodedSize() int { return packetWireSize }
+// hardware model to charge bus and link bandwidth. Fixed for all kinds
+// except KindBatch, whose size grows with the sub-message count — that
+// growth is what makes a frame one arbitrated unit that still pays
+// bandwidth for every event it carries.
+func (p *Packet) EncodedSize() int {
+	if p.Kind == KindBatch {
+		return packetWireSize + batchCountWireSize + len(p.Subs)*subMsgWireSize
+	}
+	return packetWireSize
+}
 
 // IsAnti reports whether the packet is an anti-message.
 func (p *Packet) IsAnti() bool { return p.Kind == KindAnti }
@@ -180,8 +244,14 @@ func (p *Packet) Sign() int8 {
 
 // Clone returns a copy of the packet. Firmware that re-routes or mutates
 // packets clones first, mirroring the copy from host memory into NIC SRAM.
+// Batch sub-messages are deep-copied: the original frame's Subs backing
+// array returns to a pool when the frame is consumed, so a clone (e.g. a
+// fabric-injected duplicate) must not alias it.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	if p.Subs != nil {
+		q.Subs = append([]SubMsg(nil), p.Subs...)
+	}
 	return &q
 }
 
@@ -219,9 +289,9 @@ func Checksum(buf []byte) uint32 {
 	return h
 }
 
-// Marshal encodes the packet into its fixed wire representation.
+// Marshal encodes the packet into its wire representation.
 func (p *Packet) Marshal() []byte {
-	return p.MarshalAppend(make([]byte, 0, packetWireSize))
+	return p.MarshalAppend(make([]byte, 0, p.EncodedSize()))
 }
 
 // MarshalAppend appends the packet's wire representation to buf and returns
@@ -259,14 +329,46 @@ func (p *Packet) MarshalAppend(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(p.TokenOrigin))
 	buf = binary.BigEndian.AppendUint64(buf, p.TokenEpoch)
 	buf = append(buf, uint8(p.Sign()))
+	if p.Kind == KindBatch {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Subs)))
+		for i := range p.Subs {
+			s := &p.Subs[i]
+			buf = append(buf, uint8(s.Kind))
+			buf = binary.BigEndian.AppendUint32(buf, s.SeqDelta)
+			buf = binary.BigEndian.AppendUint32(buf, uint32(s.SrcObj))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(s.DstObj))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(s.SendTS))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(s.RecvTS))
+			buf = binary.BigEndian.AppendUint64(buf, s.EventID)
+			buf = binary.BigEndian.AppendUint64(buf, s.Payload)
+			buf = binary.BigEndian.AppendUint32(buf, s.ColorEpoch)
+			buf = append(buf, uint8(s.Sign()))
+		}
+	}
 	return buf
 }
 
+// kindOffset is the byte offset of the Kind field in the fixed header,
+// used to peek the discriminator before committing to a frame length.
+const kindOffset = 8 + 4 + 4
+
 // Unmarshal decodes a packet from its wire representation.
 func Unmarshal(data []byte) (*Packet, error) {
+	if len(data) < packetWireSize {
+		return nil, fmt.Errorf("proto: bad packet size %d, want at least %d", len(data), packetWireSize)
+	}
+	if Kind(data[kindOffset]) == KindBatch {
+		return unmarshalBatch(data)
+	}
 	if len(data) != packetWireSize {
 		return nil, fmt.Errorf("proto: bad packet size %d, want %d", len(data), packetWireSize)
 	}
+	return decodeFixed(data)
+}
+
+// decodeFixed decodes the fixed header fields from the first
+// packetWireSize bytes of data.
+func decodeFixed(data []byte) (*Packet, error) {
 	p := &Packet{}
 	off := 0
 	get64 := func() uint64 { v := binary.BigEndian.Uint64(data[off:]); off += 8; return v }
@@ -305,6 +407,50 @@ func Unmarshal(data []byte) (*Packet, error) {
 	sign := int8(get8())
 	if sign != p.Sign() {
 		return nil, fmt.Errorf("proto: sign byte %d inconsistent with kind %s", sign, p.Kind)
+	}
+	return p, nil
+}
+
+// unmarshalBatch decodes a KindBatch frame: the fixed header followed by a
+// u16 sub-message count and that many SubMsg records.
+func unmarshalBatch(data []byte) (*Packet, error) {
+	if len(data) < packetWireSize+batchCountWireSize {
+		return nil, fmt.Errorf("proto: truncated batch frame, size %d", len(data))
+	}
+	p, err := decodeFixed(data[:packetWireSize])
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(data[packetWireSize:]))
+	want := packetWireSize + batchCountWireSize + n*subMsgWireSize
+	if len(data) != want {
+		return nil, fmt.Errorf("proto: bad batch frame size %d, want %d for %d subs", len(data), want, n)
+	}
+	if n > 0 {
+		p.Subs = make([]SubMsg, n)
+	}
+	off := packetWireSize + batchCountWireSize
+	get64 := func() uint64 { v := binary.BigEndian.Uint64(data[off:]); off += 8; return v }
+	get32 := func() uint32 { v := binary.BigEndian.Uint32(data[off:]); off += 4; return v }
+	get8 := func() uint8 { v := data[off]; off++; return v }
+	for i := range p.Subs {
+		s := &p.Subs[i]
+		k := get8()
+		if Kind(k) != KindEvent && Kind(k) != KindAnti {
+			return nil, fmt.Errorf("proto: bad batch sub kind %d", k)
+		}
+		s.Kind = Kind(k)
+		s.SeqDelta = get32()
+		s.SrcObj = int32(get32())
+		s.DstObj = int32(get32())
+		s.SendTS = vtime.VTime(get64())
+		s.RecvTS = vtime.VTime(get64())
+		s.EventID = get64()
+		s.Payload = get64()
+		s.ColorEpoch = get32()
+		if sign := int8(get8()); sign != s.Sign() {
+			return nil, fmt.Errorf("proto: batch sub %d sign byte %d inconsistent with kind %s", i, sign, s.Kind)
+		}
 	}
 	return p, nil
 }

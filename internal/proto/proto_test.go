@@ -263,3 +263,82 @@ func TestMarshalUnmarshalIdempotent(t *testing.T) {
 		}
 	}
 }
+
+func sampleBatch() *Packet {
+	return &Packet{
+		Seq:            100,
+		SrcNode:        2,
+		DstNode:        6,
+		Kind:           KindBatch,
+		Credits:        5,
+		CreditRepair:   2,
+		ColorEpoch:     3,
+		PiggyAntiEpoch: 9,
+		Subs: []SubMsg{
+			{Kind: KindEvent, SeqDelta: 0, SrcObj: 1, DstObj: 2, SendTS: 10, RecvTS: 20, EventID: 1001, Payload: 0xAB, ColorEpoch: 3},
+			{Kind: KindAnti, SeqDelta: 1, SrcObj: 1, DstObj: 3, SendTS: 11, RecvTS: 21, EventID: 1002, Payload: 0xCD, ColorEpoch: 3},
+			{Kind: KindEvent, SeqDelta: 3, SrcObj: 4, DstObj: 2, SendTS: 12, RecvTS: 22, EventID: 1003, Payload: 0xEF, ColorEpoch: 4},
+		},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	p := sampleBatch()
+	data := p.Marshal()
+	if len(data) != p.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(data), p.EncodedSize())
+	}
+	if p.EncodedSize() <= packetWireSize {
+		t.Fatal("batch frame should be larger than a fixed packet")
+	}
+	q, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", q, p)
+	}
+}
+
+func TestBatchCloneDeepCopiesSubs(t *testing.T) {
+	p := sampleBatch()
+	q := p.Clone()
+	q.Subs[0].EventID = 9999
+	if p.Subs[0].EventID == 9999 {
+		t.Fatal("Clone aliased the Subs backing array")
+	}
+}
+
+func TestBatchMarshalAppendZeroAlloc(t *testing.T) {
+	p := sampleBatch()
+	buf := make([]byte, 0, p.EncodedSize())
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = p.MarshalAppend(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("MarshalAppend allocated %v times with spare capacity", allocs)
+	}
+}
+
+func TestBatchUnmarshalRejectsBadFrames(t *testing.T) {
+	p := sampleBatch()
+	data := p.Marshal()
+
+	// Truncated sub records.
+	if _, err := Unmarshal(data[:len(data)-1]); err == nil {
+		t.Fatal("accepted truncated batch frame")
+	}
+	// Count larger than the payload provides.
+	bad := append([]byte(nil), data...)
+	bad[packetWireSize] = 0xFF
+	bad[packetWireSize+1] = 0xFF
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("accepted overlong sub count")
+	}
+	// Control kind inside a batch.
+	bad2 := append([]byte(nil), data...)
+	bad2[packetWireSize+batchCountWireSize] = uint8(KindCredit)
+	if _, err := Unmarshal(bad2); err == nil {
+		t.Fatal("accepted control sub kind")
+	}
+}

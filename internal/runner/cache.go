@@ -83,7 +83,9 @@ type DiskCache struct {
 //	    committed schedule (and Result) of every config
 //	v4: multi-stage topologies added fields to Config (every digest moved)
 //	    and convergence counters to core.Result
-const cacheSchema = "v4"
+//	v5: NIC send batching added fields to nic.Config (every digest moved)
+//	    and batching counters to core.Result
+const cacheSchema = "v5"
 
 // NewDiskCache opens (creating if needed) a disk cache rooted at dir.
 func NewDiskCache(dir string) (*DiskCache, error) {

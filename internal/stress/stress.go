@@ -22,8 +22,10 @@ import (
 	"nicwarp/internal/apps/raid"
 	"nicwarp/internal/core"
 	"nicwarp/internal/fault"
+	"nicwarp/internal/nic"
 	"nicwarp/internal/runner"
 	"nicwarp/internal/simnet"
+	"nicwarp/internal/vtime"
 )
 
 // Options selects the sweep matrix. The zero value sweeps every
@@ -49,6 +51,12 @@ type Options struct {
 	// Topology selects the interconnect model; the zero value is the
 	// crossbar.
 	Topology simnet.Topology
+	// Batch, when > 1, enables NIC-side send batching (nic.Config.BatchMax)
+	// with a small flush horizon for every point, crossing the fault plane
+	// over batch frames: a dropped or duplicated frame must conserve
+	// credits and leave only classifiable sequence holes, exactly like the
+	// equivalent burst of solo packets. 0 or 1 leaves batching off.
+	Batch int
 	// Shards is the per-point shard count; 0 or 1 means serial. Execution
 	// strategy only: every judgement (digests, oracles, baselines) is
 	// identical at any value, so a sharded sweep crossing the fault plane
@@ -146,7 +154,7 @@ func PointConfig(app string, o Options, scenario string, seed uint64) (core.Conf
 	if err != nil {
 		return core.Config{}, err
 	}
-	return core.Config{
+	cfg := core.Config{
 		App:             a,
 		Nodes:           o.Nodes,
 		Seed:            7,
@@ -157,7 +165,13 @@ func PointConfig(app string, o Options, scenario string, seed uint64) (core.Conf
 		CheckInvariants: true,
 		Fault:           plan,
 		Net:             o.net(),
-	}, nil
+	}
+	if o.Batch > 1 {
+		cfg.NIC = nic.DefaultConfig()
+		cfg.NIC.BatchMax = o.Batch
+		cfg.NIC.FlushHorizon = 20 * vtime.Microsecond
+	}
+	return cfg, nil
 }
 
 // Point is one judged matrix entry of a Report.
@@ -196,6 +210,7 @@ type Report struct {
 	Scale     float64  `json:"scale"`
 	GVT       string   `json:"gvt"`
 	Topology  string   `json:"topology"`
+	Batch     int      `json:"batch,omitempty"`
 	Points    []Point  `json:"points"`
 	Failures  int      `json:"failures"`
 }
@@ -252,7 +267,7 @@ func Sweep(o Options) (*Report, error) {
 	rep := &Report{
 		Apps: o.Apps, Scenarios: o.Scenarios, Seeds: o.Seeds,
 		Nodes: o.Nodes, Scale: o.Scale,
-		GVT: o.GVT.String(), Topology: o.Topology.String(),
+		GVT: o.GVT.String(), Topology: o.Topology.String(), Batch: o.Batch,
 	}
 	baseline := "" // fault-free digest of the current app, in slot order
 	for i, res := range results {
@@ -391,6 +406,9 @@ func (o Options) Repro(app, scenario string, seed uint64) string {
 	}
 	if o.Topology != simnet.TopoCrossbar {
 		cmd += fmt.Sprintf(" -topo %v", o.Topology)
+	}
+	if o.Batch > 1 {
+		cmd += fmt.Sprintf(" -batch %d", o.Batch)
 	}
 	return cmd
 }
